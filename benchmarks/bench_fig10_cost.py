@@ -1,0 +1,64 @@
+"""Figure 10 — prediction cost vs steps, for history sizes 5 and 8.
+
+Paper shape: per-prediction time grows with the number of prediction
+steps, the history-8 curve sits at or above the history-5 curve, and a
+3-step / history-8 prediction lands in the sub-millisecond-to-few-ms
+regime (the paper reports ~0.65 ms on its Intel platform; absolute
+numbers depend on the host).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import measure_prediction_cost, render_series, render_table
+from repro.nn.model import SequenceClassifier
+
+
+def test_fig10_cost(benchmark, capsys):
+    samples = measure_prediction_cost(
+        vocab_size=80,
+        steps_range=(1, 2, 3),
+        histories=(5, 8),
+        repeats=100,
+        seed=0,
+    )
+
+    by_history: dict[int, list] = {5: [], 8: []}
+    for s in samples:
+        by_history[s.history].append(s)
+    for h in by_history:
+        by_history[h].sort(key=lambda s: s.steps)
+
+    with capsys.disabled():
+        print()
+        for h in (8, 5):
+            print(
+                render_series(
+                    f"history {h}",
+                    [s.steps for s in by_history[h]],
+                    [s.millis_per_prediction for s in by_history[h]],
+                    unit="ms",
+                )
+            )
+
+    # Shape: each extra autoregressive step adds a full forward pass, so
+    # the per-prediction time grows strictly with the step count.
+    for h in (5, 8):
+        times = [s.millis_per_prediction for s in by_history[h]]
+        assert times[0] < times[1] < times[2], f"history {h}: {times}"
+    # Longer history costs more: the 8-long unroll beats the 5-long one.
+    total5 = sum(s.millis_per_prediction for s in by_history[5])
+    total8 = sum(s.millis_per_prediction for s in by_history[8])
+    assert total8 > total5, f"history 8 ({total8}) vs 5 ({total5})"
+    # 3-step history-8 prediction is in the paper's millisecond regime.
+    worst = by_history[8][-1].millis_per_prediction
+    assert worst < 50.0, f"per-prediction time implausibly slow: {worst}ms"
+
+    model = SequenceClassifier(
+        80, embed_dim=32, hidden_size=64, num_layers=2, steps=1, seed=0
+    )
+    model._fitted = True
+    window = np.zeros((1, 8), dtype=np.int64)
+
+    benchmark(lambda: model.predict_autoregressive(window, 3))

@@ -1,0 +1,42 @@
+"""Figure 4 — recall / precision / accuracy / F1 per system.
+
+Paper values: recall 85.1-87.5%, precision 84-95.2%, accuracy
+83.6-97.5%, F1 85.1-91.9% across M1-M4.  The bench prints our four
+series and asserts the paper's qualitative shape: all metrics high
+(>= 75%), and the per-entry phase-3 scoring is benchmarked on M3.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+
+
+def test_fig4_prediction_rates(benchmark, capsys, system_runs, m3_run):
+    rows = []
+    for name, run in system_runs.items():
+        m = run.result.metrics
+        rows.append(
+            [name, f"{m.recall:.1f}", f"{m.precision:.1f}", f"{m.accuracy:.1f}", f"{m.f1:.1f}"]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["System", "Recall%", "Precision%", "Accuracy%", "F1%"],
+                rows,
+                title="Figure 4 — prediction rates "
+                "(paper: recall 85.1-87.5, precision 84-95.2, acc 83.6-97.5, F1 85.1-91.9)",
+            )
+        )
+
+    for name, run in system_runs.items():
+        m = run.result.metrics
+        assert m.recall >= 75.0, f"{name} recall too low: {m.recall}"
+        assert m.precision >= 75.0, f"{name} precision too low: {m.precision}"
+        assert m.accuracy >= 80.0, f"{name} accuracy too low: {m.accuracy}"
+        assert m.f1 >= 78.0, f"{name} F1 too low: {m.f1}"
+
+    sequences = m3_run.sequences
+    predictor = m3_run.model.predictor
+
+    benchmark(lambda: predictor.predict_sequences(sequences))

@@ -1,0 +1,37 @@
+"""Figure 5 — false-positive and false-negative rates per system.
+
+Paper values: FP rates 16.66-25%, FN rates 12.5-14.89%.  Shape to hold:
+FP rates stay moderate (< 30%) and FN rates low (< 25%) on every system;
+the evaluator join is benchmarked.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Evaluator, render_table
+
+
+def test_fig5_fp_fn_rates(benchmark, capsys, system_runs, m3_run):
+    rows = []
+    for name, run in system_runs.items():
+        m = run.result.metrics
+        rows.append([name, f"{m.fp_rate:.2f}", f"{m.fn_rate:.2f}"])
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["System", "FP Rate%", "FN Rate%"],
+                rows,
+                title="Figure 5 — FP and FN rates "
+                "(paper: FP 16.66-25, FN 12.5-14.89)",
+            )
+        )
+
+    for name, run in system_runs.items():
+        m = run.result.metrics
+        assert m.fp_rate < 30.0, f"{name} FP rate too high: {m.fp_rate}"
+        assert m.fn_rate < 25.0, f"{name} FN rate too high: {m.fn_rate}"
+
+    verdicts = m3_run.model.score(m3_run.test.records)
+    evaluator = Evaluator(m3_run.test.ground_truth)
+
+    benchmark(lambda: evaluator.evaluate(verdicts))

@@ -1,0 +1,73 @@
+"""Figure 8 — lead time vs false-positive-rate sensitivity.
+
+Paper shape: pushing flags earlier buys longer lead times at the cost of
+a rising FP rate ("FP 18-30% -> 105-196s lead; beyond 4 minutes the FP
+rate climbs to 39-44%").  The sweep varies the flag position (how many
+anomalous events must be seen before flagging) and the MSE threshold;
+the curve must be monotone: longer average lead comes with an FP rate
+at least as high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table, sensitivity_sweep
+
+
+def test_fig8_sensitivity(benchmark, capsys, m3_run):
+    sequences = m3_run.sequences
+    predictor = m3_run.model.predictor
+
+    points = sensitivity_sweep(
+        predictor,
+        sequences,
+        m3_run.test.ground_truth,
+        flag_positions=(0, 1, 2, 3),
+        mse_thresholds=(2.0, 5.0),
+    )
+
+    rows = [
+        [
+            p.flag_position,
+            p.mse_threshold,
+            f"{p.avg_lead_seconds:.1f}",
+            f"{p.fp_rate:.1f}",
+            f"{p.recall:.1f}",
+        ]
+        for p in points
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["flag pos", "threshold", "avg lead (s)", "FP rate%", "recall%"],
+                rows,
+                title="Figure 8 — lead time vs FP rate "
+                "(earlier flags: longer leads, more FPs)",
+            )
+        )
+
+    # Within each threshold, earlier flag positions give >= lead time.
+    for threshold in (2.0, 5.0):
+        series = [p for p in points if p.mse_threshold == threshold]
+        series.sort(key=lambda p: p.flag_position)
+        leads = [p.avg_lead_seconds for p in series]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(leads, leads[1:])
+        ), f"lead must shrink with later flags: {leads}"
+    # Loosening the threshold (2.0 -> 5.0) must not reduce the FP rate
+    # at the most aggressive flag position.
+    fp_tight = next(p for p in points if p.mse_threshold == 2.0 and p.flag_position == 0)
+    fp_loose = next(p for p in points if p.mse_threshold == 5.0 and p.flag_position == 0)
+    assert fp_loose.fp_rate >= fp_tight.fp_rate - 1e-9
+
+    benchmark(
+        lambda: sensitivity_sweep(
+            predictor,
+            sequences,
+            m3_run.test.ground_truth,
+            flag_positions=(1,),
+            mse_thresholds=(2.0,),
+        )
+    )

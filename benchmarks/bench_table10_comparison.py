@@ -1,0 +1,72 @@
+"""Table 10 — Desh against prior solutions on identical data.
+
+The paper's Table 10 compares methods from the literature on their own
+benchmarks; here all comparators run on the *same* synthetic system, so
+the ordering is directly measurable.  Shape to hold: Desh's F1 beats
+every baseline's; the severity strawman pays a far higher FP rate for
+its recall (Observation 6); and only Desh reports learned lead times.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Evaluator, lead_time_overall, render_table
+from repro.baselines import DeepLogDetector, NGramDetector, SeverityDetector
+
+
+def test_table10_comparison(benchmark, capsys, m3_run):
+    model = m3_run.model
+    train_parsed = model.parser.transform(m3_run.train.records)
+    id_sequences = [
+        s.phrase_ids() for s in train_parsed.by_node().values() if s.node is not None
+    ]
+    deeplog = DeepLogDetector(model.num_phrases, seed=1).fit(id_sequences)
+    ngram = NGramDetector().fit(id_sequences)
+    severity = SeverityDetector()
+
+    sequences = m3_run.sequences
+    evaluator = Evaluator(m3_run.test.ground_truth)
+
+    results = {}
+    for name, verdicts in (
+        ("Desh", model.predictor.predict_sequences(sequences)),
+        ("DeepLog", deeplog.predict_sequences(sequences)),
+        ("N-gram", ngram.predict_sequences(sequences)),
+        ("Severity", severity.predict_sequences(sequences)),
+    ):
+        results[name] = evaluator.evaluate(verdicts)
+
+    rows = []
+    for name, result in results.items():
+        m = result.metrics
+        lead = lead_time_overall(result)
+        rows.append(
+            [
+                name,
+                f"{m.recall:.1f}",
+                f"{m.precision:.1f}",
+                f"{m.f1:.1f}",
+                f"{m.fp_rate:.1f}",
+                f"{lead.mean:.0f}",
+                "learned dT" if name == "Desh" else "retrospective",
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["Method", "Recall%", "Prec%", "F1%", "FP%", "lead(s)", "lead source"],
+                rows,
+                title="Table 10 — method comparison on system M3",
+            )
+        )
+
+    desh_m = results["Desh"].metrics
+    for name in ("DeepLog", "N-gram", "Severity"):
+        assert desh_m.f1 >= results[name].metrics.f1, (
+            f"Desh F1 {desh_m.f1:.1f} must beat {name} "
+            f"{results[name].metrics.f1:.1f}"
+        )
+    # Observation 6: severity tags flag every near-miss too.
+    assert results["Severity"].metrics.fp_rate > desh_m.fp_rate + 10.0
+
+    benchmark(lambda: severity.predict_sequences(sequences))

@@ -1,0 +1,84 @@
+"""Table 12 — severity keywords do not determine abnormality.
+
+The paper's Table 12 shows BlueGene/L messages whose logged severity
+("Info", "fatal") contradicts their actual normal/abnormal role, which
+is why Desh ignores severity levels ("We do not consider the log
+severity levels even if present", Section 3.1).  The bench verifies the
+same property holds in our label catalog: the presence of severity-like
+keywords in a phrase neither implies nor precludes the Error label.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis import render_table
+from repro.events import Label
+from repro.parsing.labeling import default_labeler
+
+
+SEVERITY_RE = re.compile(r"error|warn|fatal|critical", re.IGNORECASE)
+
+
+def test_table12_severity_vs_label(benchmark, capsys, m3_run):
+    parser = m3_run.model.parser
+    labeler = default_labeler()
+
+    contradiction_a = []  # severity keyword present, NOT labeled Error
+    contradiction_b = []  # labeled Error, no severity keyword at all
+    for pid in range(parser.num_phrases):
+        phrase = parser.vocab.text_of(pid)
+        label = parser.phrase_label(pid)
+        has_kw = bool(SEVERITY_RE.search(phrase))
+        if has_kw and label != Label.ERROR:
+            contradiction_a.append((phrase, label))
+        if label == Label.ERROR and not has_kw:
+            contradiction_b.append((phrase, label))
+
+    rows = []
+    for phrase, label in contradiction_a[:4]:
+        rows.append([phrase[:48], "severity keyword", label])
+    for phrase, label in contradiction_b[:4]:
+        rows.append([phrase[:48], "no severity keyword", label])
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["Log phrase", "surface severity", "actual label"],
+                rows,
+                title="Table 12 (analog) — severity keywords vs actual labels",
+            )
+        )
+        print(
+            f"{len(contradiction_a)} phrases carry severity keywords but are "
+            f"not failure indicators; {len(contradiction_b)} failure "
+            f"indicators carry no severity keyword."
+        )
+
+    # Observation 6 / Table 12: both contradiction classes are non-empty,
+    # i.e. a severity-keyword classifier cannot reproduce the labels.
+    assert contradiction_a, "some severity-tagged phrases must be benign/unknown"
+    assert contradiction_b, "some failure indicators must lack severity tags"
+
+    # Literal Table-12 reproduction: render records in BlueGene RAS format
+    # and show the severity column contradicting the actual role.
+    from repro.simlog.bluegene import render_bluegene_line, severity_for
+
+    samples = []
+    for record in m3_run.train.records:
+        sev = severity_for(record)
+        if sev == "INFO" and "Corrected" in record.message:
+            samples.append((render_bluegene_line(record), "Abnormal (chain evidence)"))
+        if sev == "FATAL" and "Wait4Boot" in record.message:
+            samples.append((render_bluegene_line(record), "Normal (boot chatter)"))
+        if len(samples) >= 4:
+            break
+    with capsys.disabled():
+        print("\nBlueGene-format rendering (Table 12 literal):")
+        for line, role in samples:
+            print(f"  {line[:86]}  <- {role}")
+    assert any("INFO" in line for line, _ in samples)
+
+    phrases = [parser.vocab.text_of(pid) for pid in range(parser.num_phrases)] * 30
+
+    benchmark(lambda: labeler.label_many(phrases))

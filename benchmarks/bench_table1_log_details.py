@@ -1,0 +1,62 @@
+"""Table 1 — log details of the four studied systems.
+
+Reproduces the Table 1 inventory (duration, size, scale, machine type)
+for the paper's machines alongside our scaled substitutes, and
+benchmarks synthetic-log generation throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generate_system
+from repro.analysis import render_table
+from repro.simlog.record import render_line
+from repro.simlog.systems import SYSTEM_PRESETS
+
+
+def test_table1_log_details(benchmark, capsys):
+    logs = {name: generate_system(name, seed=1) for name in SYSTEM_PRESETS}
+
+    rows = []
+    for name, preset in SYSTEM_PRESETS.items():
+        log = logs[name]
+        size_mb = sum(len(render_line(r)) + 1 for r in log.records) / 1e6
+        rows.append(
+            [
+                name,
+                preset.paper_duration,
+                preset.paper_size,
+                preset.paper_nodes,
+                preset.machine_type,
+                f"{log.config.horizon / 3600:.0f}h",
+                f"{size_mb:.2f}MB",
+                preset.scaled_nodes,
+                len(log.records),
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                [
+                    "Sys",
+                    "paper dur",
+                    "paper size",
+                    "paper nodes",
+                    "type",
+                    "sim dur",
+                    "sim size",
+                    "sim nodes",
+                    "records",
+                ],
+                rows,
+                title="Table 1 — log details (paper vs scaled reproduction)",
+            )
+        )
+
+    # Scale orderings of the paper must survive the scaling.
+    scaled = {r[0]: r[7] for r in rows}
+    assert scaled["M2"] > scaled["M1"] > scaled["M3"] >= scaled["M4"]
+
+    benchmark(lambda: generate_system("M4", seed=2))

@@ -1,0 +1,57 @@
+"""Table 4 — an example failure chain with cumulative delta times.
+
+Reproduces the Table 4 presentation for a chain extracted from real
+generated data: phrase, label, and the cumulative dT to the terminal
+message (dT = 0 at the terminal).  Benchmarks chain extraction over the
+full training split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.chains import ChainExtractor
+from repro.core.deltas import chain_to_deltas
+
+
+def test_table4_failure_chain(benchmark, capsys, m3_run):
+    model = m3_run.model
+    chains = model.phase1.chains
+    assert chains, "phase 1 must extract chains"
+
+    # Pick a reasonably long chain for display.
+    chain = max(chains, key=len)
+    deltas = chain_to_deltas(chain.timestamps())
+    vocab = model.parser.vocab
+    rows = []
+    for event, dt in zip(chain.events, deltas):
+        rows.append(
+            [
+                f"{event.timestamp:.3f}",
+                vocab.text_of(event.phrase_id)[:46],
+                event.label[0].upper(),
+                f"dT={dt:07.3f}",
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["timestamp", "phrase", "L", "phrase vector"],
+                rows,
+                title=f"Table 4 — failure chain on node {chain.node}",
+            )
+        )
+
+    # Table-4 semantics: dT decreasing to exactly 0 at the terminal.
+    assert deltas[-1] == 0.0
+    assert np.all(np.diff(deltas) <= 0)
+    assert chain.events[-1].terminal
+
+    parsed = model.parser.transform(m3_run.train.records)
+    sequences = [s for s in parsed.by_node().values() if s.node is not None]
+    extractor = ChainExtractor(lookback=600.0)
+
+    out = benchmark(lambda: extractor.extract(sequences))
+    assert len(out) == len(chains)

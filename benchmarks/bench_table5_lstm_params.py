@@ -1,0 +1,75 @@
+"""Table 5 — LSTM parameter specifications per phase.
+
+Echoes the configured parameters of each phase (they must match the
+paper's Table 5) and verifies them against the actual network shapes of
+a trained model.  Benchmarks a phase-1-sized forward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.config import DeshConfig
+from repro.nn.model import SequenceClassifier
+
+
+def test_table5_lstm_params(benchmark, capsys, m3_run):
+    cfg = DeshConfig()
+    rows = [
+        [
+            "Phase-1",
+            "(P1, P2, ..)",
+            "(P11, P15, ..)",
+            cfg.phase1.hidden_layers,
+            cfg.phase1.prediction_steps,
+            cfg.phase1.history_size,
+            "SGD, categorical crossentropy",
+        ],
+        [
+            "Phase-2",
+            "(dT1, P1), ..",
+            "(dT11, P11), ..",
+            cfg.phase2.hidden_layers,
+            cfg.phase2.prediction_steps,
+            cfg.phase2.history_size,
+            "MSE, RMSprop",
+        ],
+        [
+            "Phase-3",
+            "(dT4, P4), ..",
+            "(dT15, P15), ..",
+            cfg.phase2.hidden_layers,
+            cfg.phase2.prediction_steps,
+            cfg.phase3.history_size,
+            "MSE, RMSprop",
+        ],
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["#", "Input", "Output", "#HL", "Steps", "#HS", "Loss, Optimizer"],
+                rows,
+                title="Table 5 — LSTM parameter specifications",
+            )
+        )
+
+    # Paper values, asserted exactly.
+    assert (cfg.phase1.hidden_layers, cfg.phase1.prediction_steps, cfg.phase1.history_size) == (2, 3, 8)
+    assert (cfg.phase2.hidden_layers, cfg.phase2.prediction_steps, cfg.phase2.history_size) == (2, 1, 5)
+    assert cfg.phase3.history_size == 5
+
+    # Verify the trained phase-2 model really has two LSTM layers and a
+    # 2-state input (dT, phrase id).
+    regressor = m3_run.model.phase2.regressor
+    assert regressor.num_layers == 2
+    assert regressor.input_dim == 2
+
+    model = SequenceClassifier(
+        80, embed_dim=32, hidden_size=64, num_layers=2, steps=3, seed=0
+    )
+    model._fitted = True
+    window = np.zeros((64, 8), dtype=np.int64)
+
+    benchmark(lambda: model.predict_logits(window))

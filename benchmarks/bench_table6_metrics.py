@@ -1,0 +1,48 @@
+"""Table 6 — prediction-efficiency metric formulas.
+
+Prints every Table-6 formula evaluated on a real system's confusion
+counts, cross-checks them against independent computations, and
+benchmarks metric evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ConfusionCounts, render_table
+
+
+def test_table6_metrics(benchmark, capsys, m3_run):
+    c = m3_run.result.counts
+    m = c.metrics()
+    rows = [
+        ["Recall", "TP/(TP+FN)", f"{m.recall:.2f}%"],
+        ["Precision", "TP/(TP+FP)", f"{m.precision:.2f}%"],
+        ["Accuracy", "(TP+TN)/(TP+FP+FN+TN)", f"{m.accuracy:.2f}%"],
+        ["F1 Score", "2*(R*P)/(R+P)", f"{m.f1:.2f}%"],
+        ["FP Rate", "FP/(FP+TN)", f"{m.fp_rate:.2f}%"],
+        ["FN Rate", "FN/(TP+FN) = 1-Recall", f"{m.fn_rate:.2f}%"],
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["Metric", "Formula (Table 6)", "M3 value"],
+                rows,
+                title=f"Table 6 — metrics over counts TP={c.tp} FP={c.fp} FN={c.fn} TN={c.tn}",
+            )
+        )
+
+    # Independent recomputation of each formula.
+    assert m.recall == pytest.approx(100 * c.tp / (c.tp + c.fn))
+    assert m.precision == pytest.approx(100 * c.tp / (c.tp + c.fp))
+    assert m.accuracy == pytest.approx(100 * (c.tp + c.tn) / c.total)
+    assert m.f1 == pytest.approx(
+        2 * m.recall * m.precision / (m.recall + m.precision)
+    )
+    assert m.fp_rate == pytest.approx(100 * c.fp / (c.fp + c.tn))
+    assert m.fn_rate == pytest.approx(100 - m.recall)
+
+    counts = [ConfusionCounts(tp=i, fp=i // 2, fn=i // 3, tn=2 * i) for i in range(1, 200)]
+
+    benchmark(lambda: [cc.metrics() for cc in counts])

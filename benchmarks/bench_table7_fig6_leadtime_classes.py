@@ -1,0 +1,64 @@
+"""Table 7 + Figure 6 — lead times per failure class.
+
+Paper values (avg lead seconds): Job 81.52, MCE 160.29, FS 119.32,
+Traps 115.74, H/W 124.29, Panic 58.87 — with low per-class standard
+deviations (Figure 6).  Shape to hold: Panic has the shortest lead,
+MCE among the longest, and per-class deviations stay low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import lead_times_by_class, render_table
+from repro.simlog.faults import PAPER_LEAD_TIMES, FailureClass
+
+
+def test_table7_fig6_leadtime_classes(benchmark, capsys, system_runs):
+    # Pool true positives across systems for stable per-class statistics.
+    per_class: dict[FailureClass, list[float]] = {c: [] for c in FailureClass}
+    for run in system_runs.values():
+        for cls, stats in lead_times_by_class(run.result).items():
+            if stats.count:
+                per_class[cls].extend(
+                    s.lead_seconds
+                    for s in run.result.true_positives()
+                    if s.failure_class is cls
+                )
+
+    rows = []
+    measured: dict[FailureClass, float] = {}
+    for cls in FailureClass:
+        values = np.array(per_class[cls])
+        mean = float(values.mean()) if values.size else 0.0
+        std = float(values.std()) if values.size else 0.0
+        measured[cls] = mean
+        rows.append(
+            [
+                cls.value,
+                f"{PAPER_LEAD_TIMES[cls]:.2f}",
+                f"{mean:.2f}",
+                f"{std:.2f}",
+                int(values.size),
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["Class", "paper lead(s)", "measured lead(s)", "std", "n"],
+                rows,
+                title="Table 7 / Figure 6 — avg lead times per failure class",
+            )
+        )
+
+    populated = {c: v for c, v in measured.items() if per_class[c]}
+    # Shape: kernel panics give the least warning...
+    assert min(populated, key=populated.get) is FailureClass.PANIC
+    # ... and MCE chains are among the two longest-lead classes.
+    top2 = sorted(populated, key=populated.get, reverse=True)[:2]
+    assert FailureClass.MCE in top2
+
+    run = system_runs["M3"]
+
+    benchmark(lambda: lead_times_by_class(run.result))

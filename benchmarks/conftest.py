@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Training all four systems is expensive, so one session-scoped fixture
+(`system_runs`) does it once; every table/figure bench reads from it.
+The printed output of each bench reproduces the corresponding rows or
+series of the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import Desh, DeshConfig, generate_system
+from repro.analysis import Evaluator
+from repro.analysis.evaluation import EvaluationResult
+from repro.core.desh import DeshModel
+from repro.simlog.generator import GeneratedLog
+
+SEED = 2018
+SYSTEMS = ("M1", "M2", "M3", "M4")
+
+
+@dataclass
+class SystemRun:
+    """Everything one evaluated system produces."""
+
+    name: str
+    log: GeneratedLog
+    train: GeneratedLog
+    test: GeneratedLog
+    model: DeshModel
+    result: EvaluationResult
+
+    @property
+    def sequences(self):
+        parsed = self.model.parse(self.test.records)
+        return [s for s in parsed.by_node().values() if s.node is not None]
+
+
+def run_system(name: str, *, train_classifier: bool = False) -> SystemRun:
+    log = generate_system(name, seed=SEED)
+    train, test = log.split(0.3)
+    model = Desh(DeshConfig()).fit(
+        list(train.records), train_classifier=train_classifier
+    )
+    result = Evaluator(test.ground_truth).evaluate(model.score(test.records))
+    return SystemRun(
+        name=name, log=log, train=train, test=test, model=model, result=result
+    )
+
+
+@pytest.fixture(scope="session")
+def system_runs() -> dict[str, SystemRun]:
+    """Fully evaluated M1-M4 runs (trains once per session)."""
+    return {name: run_system(name) for name in SYSTEMS}
+
+
+@pytest.fixture(scope="session")
+def m3_run(system_runs) -> SystemRun:
+    return system_runs["M3"]

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Compare Desh against DeepLog, n-gram and severity baselines (Table 10).
+
+All four detectors are trained on the same 30% split and scored on the
+same test episodes, so recall / precision / lead time are directly
+comparable.  Expected shape (paper Section 4.5): Desh provides lead
+times with balanced recall/precision; DeepLog-style per-entry detection
+catches anomalies but with no failure-chain notion its precision on
+*node-failure* prediction drops; the severity strawman has high recall
+and poor precision (Observation 6).
+
+Run:
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import Desh, DeshConfig, generate_system
+from repro.analysis import Evaluator, lead_time_overall, render_table
+from repro.baselines import DeepLogDetector, NGramDetector, SeverityDetector
+
+
+def main() -> None:
+    print("Generating system M3 and training all detectors ...")
+    log = generate_system("M3", seed=13)
+    train, test = log.split(0.3)
+
+    desh = Desh(DeshConfig()).fit(list(train.records), train_classifier=False)
+    train_parsed = desh.parser.transform(train.records)
+    id_sequences = [
+        seq.phrase_ids()
+        for seq in train_parsed.by_node().values()
+        if seq.node is not None
+    ]
+    deeplog = DeepLogDetector(desh.num_phrases, seed=1).fit(id_sequences)
+    ngram = NGramDetector().fit(id_sequences)
+    severity = SeverityDetector()
+
+    test_parsed = desh.parser.transform(test.records)
+    sequences = [
+        s for s in test_parsed.by_node().values() if s.node is not None
+    ]
+    evaluator = Evaluator(test.ground_truth)
+
+    rows = []
+    for name, verdicts in (
+        ("Desh", desh.predictor.predict_sequences(sequences)),
+        ("DeepLog", deeplog.predict_sequences(sequences)),
+        ("N-gram", ngram.predict_sequences(sequences)),
+        ("Severity", severity.predict_sequences(sequences)),
+    ):
+        result = evaluator.evaluate(verdicts)
+        m = result.metrics
+        lead = lead_time_overall(result)
+        rows.append(
+            [
+                name,
+                f"{m.recall:.1f}",
+                f"{m.precision:.1f}",
+                f"{m.accuracy:.1f}",
+                f"{m.fp_rate:.1f}",
+                f"{lead.mean:.0f}s",
+            ]
+        )
+
+    print()
+    print(
+        render_table(
+            ["Method", "Recall%", "Precision%", "Accuracy%", "FP rate%", "Avg lead"],
+            rows,
+            title="Table 10 — node-failure prediction, identical data",
+        )
+    )
+    print(
+        "\nNote: only Desh *predicts lead times from learned dT chains*; "
+        "baseline leads are measured retrospectively from their first "
+        "per-entry anomaly."
+    )
+
+
+if __name__ == "__main__":
+    main()

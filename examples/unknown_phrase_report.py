@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Unknown-phrase reliability report (the paper's Section 4.3 analysis).
+
+Trains phase 1 on a synthetic system, then reports:
+
+* Table 8 / Figure 9 — for each Unknown phrase, the percentage of its
+  occurrences that fall inside failure chains;
+* Table 9 — example failure vs. non-failure sequences sharing phrases
+  (Observation 5: the same phrase can be benign in one context and part
+  of a failure chain in another).
+
+Run:
+    python examples/unknown_phrase_report.py
+"""
+
+from __future__ import annotations
+
+from repro import Desh, DeshConfig, generate_system
+from repro.analysis import render_table, sequence_examples, unknown_phrase_analysis
+from repro.core.chains import segment_episodes
+
+
+def main() -> None:
+    print("Training Desh phase 1 on system M1 ...")
+    log = generate_system("M1", seed=11)
+    train, _ = log.split(0.3)
+    model = Desh(DeshConfig()).fit(list(train.records), train_classifier=False)
+
+    stats = unknown_phrase_analysis(
+        model.phase1.sequences,
+        model.phase1.chains,
+        model.parser.vocab,
+        model.parser.labels_by_id(),
+    )
+
+    rows = [
+        [s.phrase[:58], s.total_occurrences, s.chain_occurrences, f"{s.contribution_pct:.0f}%"]
+        for s in stats[:12]
+    ]
+    print()
+    print(
+        render_table(
+            ["Unknown phrase", "seen", "in chains", "contribution"],
+            rows,
+            title="Table 8 / Figure 9 — Unknown-phrase contribution to node failures",
+        )
+    )
+
+    # Non-failure episodes: anomalous sequences that never hit a terminal.
+    non_failure = [
+        ep
+        for seq in model.phase1.sequences
+        for ep in segment_episodes(seq, gap=600.0, min_events=2)
+        if not ep.ends_in_terminal
+    ]
+    pairs = sequence_examples(
+        model.phase1.chains, non_failure, model.parser.vocab, max_pairs=2
+    )
+    print("\nTable 9 — the same phrases with and without node failures:")
+    for i, (failure, survivor) in enumerate(pairs, 1):
+        shared = set(failure) & set(survivor)
+        print(f"\n  Pair {i} (shared phrases: {len(shared)})")
+        print("    FAILURE chain:")
+        for p in failure:
+            marker = "*" if p in shared else " "
+            print(f"     {marker} {p[:70]}")
+        print("    NO failure:")
+        for p in survivor:
+            marker = "*" if p in shared else " "
+            print(f"     {marker} {p[:70]}")
+    print(
+        "\nObservation 5 holds: phrases marked * occur in both a failure"
+        " chain and a sequence that recovered."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Evaluation substrate: every metric, table and figure of Section 4.
+
+* :mod:`~repro.analysis.metrics` — confusion counts and the Table-6
+  formulas (recall, precision, accuracy, F1, FP rate, FN rate),
+* :mod:`~repro.analysis.evaluation` — joins phase-3 verdicts with the
+  generator's ground truth into scored predictions,
+* :mod:`~repro.analysis.leadtime` — per-class / per-system lead-time
+  statistics (Table 7, Figures 6-7),
+* :mod:`~repro.analysis.sensitivity` — the lead-time vs false-positive
+  trade-off curve (Figure 8),
+* :mod:`~repro.analysis.unknown` — unknown-phrase contribution analysis
+  (Table 8, Figure 9, Table 9),
+* :mod:`~repro.analysis.cost` — prediction-latency measurement
+  (Figure 10),
+* :mod:`~repro.analysis.report` — ASCII rendering of tables and series.
+"""
+
+from .metrics import ConfusionCounts, PredictionMetrics
+from .evaluation import EpisodeKind, ScoredEpisode, Evaluator, EvaluationResult
+from .leadtime import LeadTimeStats, lead_times_by_class, lead_time_overall
+from .sensitivity import SensitivityPoint, sensitivity_sweep
+from .unknown import UnknownPhraseStats, unknown_phrase_analysis, sequence_examples
+from .cost import CostSample, measure_prediction_cost
+from .recovery import RecoveryAction, PAPER_ACTIONS, recovery_feasibility
+from .spatial import SpatialCorrelation, spatial_correlation
+from .curves import OperatingPoint, threshold_curve, trapezoid_auc
+from .summary import system_report
+from .crossval import FoldResult, rolling_origin_evaluation
+from .calibration import CalibrationResult, calibrate_threshold
+from .report import render_table, render_series
+
+__all__ = [
+    "ConfusionCounts",
+    "PredictionMetrics",
+    "EpisodeKind",
+    "ScoredEpisode",
+    "Evaluator",
+    "EvaluationResult",
+    "LeadTimeStats",
+    "lead_times_by_class",
+    "lead_time_overall",
+    "SensitivityPoint",
+    "sensitivity_sweep",
+    "UnknownPhraseStats",
+    "unknown_phrase_analysis",
+    "sequence_examples",
+    "CostSample",
+    "measure_prediction_cost",
+    "RecoveryAction",
+    "PAPER_ACTIONS",
+    "recovery_feasibility",
+    "SpatialCorrelation",
+    "spatial_correlation",
+    "OperatingPoint",
+    "threshold_curve",
+    "trapezoid_auc",
+    "system_report",
+    "FoldResult",
+    "rolling_origin_evaluation",
+    "CalibrationResult",
+    "calibrate_threshold",
+    "render_table",
+    "render_series",
+]

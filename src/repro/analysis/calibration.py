@@ -1,0 +1,92 @@
+"""Automatic MSE-threshold calibration.
+
+The paper sets its 0.5 threshold "based on experimentation: more than
+0.5 MSE in the test data emitted chains that are quite dissimilar from
+those in the trained failure chains" (Section 3.3).  This module turns
+that experimentation into a procedure: score a *held-out validation
+slice of the training window* over a threshold grid and pick the value
+that maximizes F1 (or, alternatively, the loosest threshold whose FP
+rate stays under a target).
+
+Calibrating on a slice of the training window keeps the test data
+untouched — the same discipline the paper's wording implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.phase3 import Phase3Predictor
+from ..errors import ConfigError
+from ..events import EventSequence
+from ..simlog.generator import GroundTruth
+from .curves import OperatingPoint, threshold_curve
+
+__all__ = ["CalibrationResult", "calibrate_threshold"]
+
+DEFAULT_GRID = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Chosen threshold plus the full grid evaluation behind it."""
+
+    threshold: float
+    points: tuple[OperatingPoint, ...]
+
+    @property
+    def chosen_point(self) -> OperatingPoint:
+        """The operating point of the chosen threshold."""
+        for p in self.points:
+            if p.threshold == self.threshold:
+                return p
+        raise ConfigError("chosen threshold missing from grid")  # pragma: no cover
+
+
+def _f1(p: OperatingPoint) -> float:
+    if p.recall + p.precision == 0:
+        return 0.0
+    return 2 * p.recall * p.precision / (p.recall + p.precision)
+
+
+def calibrate_threshold(
+    predictor: Phase3Predictor,
+    sequences: Sequence[EventSequence],
+    ground_truth: GroundTruth,
+    *,
+    grid: Sequence[float] = DEFAULT_GRID,
+    max_fp_rate: float | None = None,
+) -> CalibrationResult:
+    """Pick the operating MSE threshold from a validation slice.
+
+    Parameters
+    ----------
+    predictor:
+        The trained phase-3 predictor (its configured threshold is
+        ignored; every grid value is tried).
+    sequences, ground_truth:
+        The validation slice — typically the tail of the *training*
+        window, so the test data stays blind.
+    grid:
+        Candidate thresholds.
+    max_fp_rate:
+        When given, choose the loosest threshold whose FP rate stays at
+        or under this percentage (falling back to the tightest grid
+        value if none qualifies); otherwise maximize F1, breaking ties
+        toward the looser threshold (longer lead times).
+    """
+    if not grid:
+        raise ConfigError("grid must be non-empty")
+    points = threshold_curve(predictor, sequences, ground_truth, thresholds=grid)
+    if max_fp_rate is not None:
+        qualifying = [p for p in points if p.fp_rate <= max_fp_rate]
+        if qualifying:
+            chosen = max(qualifying, key=lambda p: p.threshold)
+        else:
+            chosen = min(points, key=lambda p: p.threshold)
+    else:
+        best = max(_f1(p) for p in points)
+        candidates = [p for p in points if _f1(p) >= best - 1e-9]
+        chosen = max(candidates, key=lambda p: p.threshold)
+    return CalibrationResult(threshold=chosen.threshold, points=tuple(points))

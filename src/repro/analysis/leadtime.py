@@ -1,0 +1,57 @@
+"""Lead-time statistics per failure class and per system.
+
+Reproduces Table 7 / Figure 6 (average lead time and standard deviation
+per failure class) and Figure 7 (per system).  Observation 4 — the
+per-class standard deviation is lower than the per-system standard
+deviation — falls out of these aggregates and is asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..simlog.faults import FailureClass
+from .evaluation import EvaluationResult
+
+__all__ = ["LeadTimeStats", "lead_times_by_class", "lead_time_overall"]
+
+
+@dataclass(frozen=True)
+class LeadTimeStats:
+    """Mean / std / count of a set of lead times (seconds)."""
+
+    mean: float
+    std: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float] | np.ndarray) -> "LeadTimeStats":
+        """Aggregate raw lead times into (mean, std, count)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return cls(mean=0.0, std=0.0, count=0)
+        return cls(mean=float(arr.mean()), std=float(arr.std()), count=int(arr.size))
+
+    @property
+    def mean_minutes(self) -> float:
+        """The mean lead time expressed in minutes."""
+        return self.mean / 60.0
+
+
+def lead_times_by_class(
+    result: EvaluationResult,
+) -> Mapping[FailureClass, LeadTimeStats]:
+    """Table 7 / Figure 6: lead-time stats per failure class (TPs only)."""
+    buckets: dict[FailureClass, list[float]] = {c: [] for c in FailureClass}
+    for s in result.true_positives():
+        if s.failure_class is not None:
+            buckets[s.failure_class].append(s.lead_seconds)
+    return {c: LeadTimeStats.from_values(v) for c, v in buckets.items()}
+
+
+def lead_time_overall(result: EvaluationResult) -> LeadTimeStats:
+    """Figure 7: the whole-system lead-time statistic."""
+    return LeadTimeStats.from_values(result.lead_times())

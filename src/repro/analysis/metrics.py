@@ -1,0 +1,112 @@
+"""Confusion counts and the Table-6 prediction-efficiency metrics.
+
+========  ==========================================
+Metric    Formula (Table 6)
+========  ==========================================
+Recall    TP / (TP + FN)
+Precision TP / (TP + FP)
+Accuracy  (TP + TN) / (TP + FP + FN + TN)
+F1 score  2 * recall * precision / (recall + precision)
+FP rate   FP / (FP + TN)
+FN rate   FN / (TP + FN)  ( = 1 - recall )
+========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+
+__all__ = ["ConfusionCounts", "PredictionMetrics"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Raw TP / FP / FN / TN counts.
+
+    Semantics (Section 4.1): "Correctly predicted failures are true
+    positives, incorrectly predicted failures are false positives,
+    failures missed by Desh are false negatives, and the sequence of
+    phrases not predicted by Desh as failures, which are actually not
+    failures, are true negatives."
+    """
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("tp", "fp", "fn", "tn"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 0:
+                raise ShapeError(f"{name} must be a non-negative int, got {v!r}")
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            tp=self.tp + other.tp,
+            fp=self.fp + other.fp,
+            fn=self.fn + other.fn,
+            tn=self.tn + other.tn,
+        )
+
+    @property
+    def total(self) -> int:
+        """Total number of scored episodes."""
+        return self.tp + self.fp + self.fn + self.tn
+
+    def metrics(self) -> "PredictionMetrics":
+        """Evaluate the Table-6 formulas over these counts."""
+        return PredictionMetrics.from_counts(self)
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """The six Table-6 metrics, as percentages in [0, 100].
+
+    Undefined ratios (zero denominators) evaluate to 0.
+    """
+
+    recall: float
+    precision: float
+    accuracy: float
+    f1: float
+    fp_rate: float
+    fn_rate: float
+
+    @classmethod
+    def from_counts(cls, c: ConfusionCounts) -> "PredictionMetrics":
+        """Apply every Table-6 formula to raw confusion counts."""
+        def ratio(num: int, den: int) -> float:
+            return 100.0 * num / den if den > 0 else 0.0
+
+        recall = ratio(c.tp, c.tp + c.fn)
+        precision = ratio(c.tp, c.tp + c.fp)
+        accuracy = ratio(c.tp + c.tn, c.total)
+        f1 = (
+            2.0 * recall * precision / (recall + precision)
+            if (recall + precision) > 0
+            else 0.0
+        )
+        fp_rate = ratio(c.fp, c.fp + c.tn)
+        fn_rate = ratio(c.fn, c.tp + c.fn)
+        return cls(
+            recall=recall,
+            precision=precision,
+            accuracy=accuracy,
+            f1=f1,
+            fp_rate=fp_rate,
+            fn_rate=fn_rate,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """All six metrics keyed by name (for reports and JSON)."""
+        return {
+            "recall": self.recall,
+            "precision": self.precision,
+            "accuracy": self.accuracy,
+            "f1": self.f1,
+            "fp_rate": self.fp_rate,
+            "fn_rate": self.fn_rate,
+        }

@@ -1,0 +1,81 @@
+"""Recovery-action feasibility analysis (Section 4.6, "Discussion").
+
+"How much lead time is sufficient? ... Process-level job migrations take
+13 to 24 seconds, skip/lazy checkpointing, or quarantining nodes ... are
+all feasible proactive actions ... Dino proposes node cloning service in
+90 seconds.  Three minutes lead time suffices for the discussed recovery
+options."
+
+Given the evaluated predictions, this module computes — per proactive
+mitigation — the fraction of correctly predicted failures whose lead
+time exceeds the action's requirement, i.e. how many node failures the
+warning could actually have mitigated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .evaluation import EvaluationResult
+
+__all__ = ["RecoveryAction", "PAPER_ACTIONS", "recovery_feasibility"]
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One proactive mitigation and the lead time it requires."""
+
+    name: str
+    required_seconds: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.required_seconds <= 0:
+            raise ConfigError(f"{self.name}: required_seconds must be > 0")
+
+
+#: The mitigations and costs Section 4.6 cites.
+PAPER_ACTIONS: tuple[RecoveryAction, ...] = (
+    RecoveryAction("job quarantine (stop scheduling)", 5.0, "Gupta et al. [25]"),
+    RecoveryAction("process-level live migration", 24.0, "Wang et al. [41]"),
+    RecoveryAction("node cloning (DINO)", 90.0, "Rezaei & Mueller [39]"),
+    RecoveryAction("lazy/skip checkpoint", 120.0, "Tiwari et al. [40]"),
+)
+
+
+@dataclass(frozen=True)
+class FeasibilityRow:
+    """Fraction of predicted failures an action could have mitigated."""
+
+    action: RecoveryAction
+    feasible: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        """Feasible share in [0, 1] (0 when there are no predictions)."""
+        return self.feasible / self.total if self.total else 0.0
+
+    @property
+    def percent(self) -> float:
+        """Feasible share as a percentage."""
+        return 100.0 * self.fraction
+
+
+def recovery_feasibility(
+    result: EvaluationResult,
+    actions: Sequence[RecoveryAction] = PAPER_ACTIONS,
+) -> list[FeasibilityRow]:
+    """Per-action mitigation coverage over the true-positive lead times."""
+    leads = result.lead_times()
+    rows = []
+    for action in actions:
+        feasible = int(np.sum(leads >= action.required_seconds))
+        rows.append(
+            FeasibilityRow(action=action, feasible=feasible, total=len(leads))
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""ASCII rendering helpers for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ShapeError
+
+__all__ = ["render_table", "render_series"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a  b
+    -  ----
+    1  2.50
+    """
+    if not headers:
+        raise ShapeError("headers must not be empty")
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ShapeError(
+                f"row width {len(row)} does not match headers ({len(headers)})"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], *, unit: str = ""
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs.
+
+    >>> render_series("lead", [1, 2], [10.0, 20.0], unit="s")
+    'lead: 1=10.00s 2=20.00s'
+    """
+    if len(xs) != len(ys):
+        raise ShapeError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    pairs = " ".join(f"{x}={y:.2f}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

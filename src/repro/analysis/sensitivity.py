@@ -1,0 +1,73 @@
+"""Lead-time vs false-positive-rate sensitivity (Figure 8).
+
+"We aim at longer lead times, yet need to limit the false positive rate"
+(Section 4.2).  The sweep varies how aggressively phase 3 flags —
+both the earliest allowed flag position and the MSE threshold — and
+records the resulting (average lead time, FP rate) operating points.
+Flagging earlier/looser yields longer lead times at a higher FP rate;
+the bench asserts the monotone shape the paper's Figure 8 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..config import Phase3Config
+from ..core.phase3 import Phase3Predictor
+from ..events import EventSequence
+from ..simlog.generator import GroundTruth
+from .evaluation import Evaluator
+from .leadtime import lead_time_overall
+
+__all__ = ["SensitivityPoint", "sensitivity_sweep"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One operating point of the Figure-8 trade-off curve."""
+
+    flag_position: int
+    mse_threshold: float
+    avg_lead_seconds: float
+    fp_rate: float
+    recall: float
+
+
+def sensitivity_sweep(
+    predictor: Phase3Predictor,
+    sequences: Sequence[EventSequence],
+    ground_truth: GroundTruth,
+    *,
+    flag_positions: Sequence[int] = (0, 1, 2, 3),
+    mse_thresholds: Sequence[float] = (2.0,),
+    slack: float = 30.0,
+) -> list[SensitivityPoint]:
+    """Evaluate every (flag_position, threshold) combination.
+
+    Returns points ordered by decreasing aggressiveness (longest lead
+    first within each threshold).
+    """
+    evaluator = Evaluator(ground_truth, slack=slack)
+    base = predictor.config
+    points: list[SensitivityPoint] = []
+    for threshold in mse_thresholds:
+        for fpos in flag_positions:
+            cfg = replace(base, flag_position=fpos, mse_threshold=threshold)
+            swept = Phase3Predictor(
+                predictor.regressor,
+                predictor.scaler,
+                config=cfg,
+                episode_gap=predictor.episode_gap,
+            )
+            result = evaluator.evaluate(swept.predict_sequences(sequences))
+            points.append(
+                SensitivityPoint(
+                    flag_position=fpos,
+                    mse_threshold=float(threshold),
+                    avg_lead_seconds=lead_time_overall(result).mean,
+                    fp_rate=result.metrics.fp_rate,
+                    recall=result.metrics.recall,
+                )
+            )
+    return points

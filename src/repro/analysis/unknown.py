@@ -1,0 +1,111 @@
+"""Unknown-phrase analysis (Table 8, Figure 9, Table 9).
+
+"We evaluate statistically how certain unknown phrases form a failure
+chain, while others never appear in any chain" (Section 3.1) — for each
+Unknown-labeled phrase, the fraction of its occurrences that fall inside
+extracted failure chains is its *contribution to node failures*
+(Table 8 column 3, Figure 9).
+
+Table 9's qualitative counterpart — the same phrases appearing in
+sequences with and without node failures — is reproduced by
+:func:`sequence_examples`, which pairs a failure chain with a
+non-failure episode sharing at least one phrase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.chains import Episode, FailureChain
+from ..events import EventSequence, Label
+from ..parsing.encoder import PhraseVocabulary
+
+__all__ = ["UnknownPhraseStats", "unknown_phrase_analysis", "sequence_examples"]
+
+
+@dataclass(frozen=True)
+class UnknownPhraseStats:
+    """Occurrence statistics of one Unknown phrase."""
+
+    phrase_id: int
+    phrase: str
+    total_occurrences: int
+    chain_occurrences: int
+
+    @property
+    def contribution_pct(self) -> float:
+        """Percent of occurrences inside failure chains (Table 8 col. 3)."""
+        if self.total_occurrences == 0:
+            return 0.0
+        return 100.0 * self.chain_occurrences / self.total_occurrences
+
+
+def unknown_phrase_analysis(
+    sequences: Sequence[EventSequence],
+    chains: Sequence[FailureChain],
+    vocab: PhraseVocabulary,
+    labels_by_id: Sequence[str],
+) -> list[UnknownPhraseStats]:
+    """Per-Unknown-phrase chain-contribution statistics.
+
+    Returns stats for every Unknown phrase observed at least once,
+    ordered by descending contribution.
+    """
+    total: dict[int, int] = {}
+    for seq in sequences:
+        for e in seq:
+            if e.label == Label.UNKNOWN:
+                total[e.phrase_id] = total.get(e.phrase_id, 0) + 1
+    in_chain: dict[int, int] = {}
+    for chain in chains:
+        for e in chain.events:
+            if e.label == Label.UNKNOWN:
+                in_chain[e.phrase_id] = in_chain.get(e.phrase_id, 0) + 1
+    out = [
+        UnknownPhraseStats(
+            phrase_id=pid,
+            phrase=vocab.text_of(pid),
+            total_occurrences=count,
+            chain_occurrences=in_chain.get(pid, 0),
+        )
+        for pid, count in total.items()
+        if pid < len(labels_by_id) and labels_by_id[pid] == Label.UNKNOWN
+    ]
+    out.sort(key=lambda s: (-s.contribution_pct, s.phrase_id))
+    return out
+
+
+def sequence_examples(
+    chains: Sequence[FailureChain],
+    non_failure_episodes: Sequence[Episode],
+    vocab: PhraseVocabulary,
+    *,
+    max_pairs: int = 4,
+) -> list[tuple[list[str], list[str]]]:
+    """Table-9 style pairs: (failure phrases, non-failure phrases).
+
+    Each pair shares at least one phrase id, demonstrating Observation 5:
+    "A log message with a given phrase may be benign in one context while
+    it is part of a failure chain in another one."
+    """
+    pairs: list[tuple[list[str], list[str]]] = []
+    used: set[int] = set()
+    for chain in chains:
+        chain_ids = set(int(i) for i in chain.phrase_ids())
+        for idx, ep in enumerate(non_failure_episodes):
+            if idx in used or ep.ends_in_terminal:
+                continue
+            ep_ids = set(int(i) for i in ep.phrase_ids())
+            if chain_ids & ep_ids:
+                pairs.append(
+                    (
+                        [vocab.text_of(int(i)) for i in chain.phrase_ids()],
+                        [vocab.text_of(int(i)) for i in ep.phrase_ids()],
+                    )
+                )
+                used.add(idx)
+                break
+        if len(pairs) >= max_pairs:
+            break
+    return pairs

@@ -1,0 +1,21 @@
+"""Comparison baselines (Tables 10 and 11).
+
+* :mod:`~repro.baselines.deeplog` — DeepLog-style per-entry top-g
+  next-key anomaly detection (Du et al., CCS'17), the paper's closest
+  related work;
+* :mod:`~repro.baselines.ngram` — an n-gram language-model detector with
+  backoff, representing the pre-neural sequence-mining family;
+* :mod:`~repro.baselines.severity` — the severity-keyword strawman the
+  paper argues against (Observation 6: severity tags alone are
+  insufficient failure indicators).
+
+All baselines share the episode-verdict interface of phase 3 so the
+comparison benches can score them with the same
+:class:`~repro.analysis.evaluation.Evaluator`.
+"""
+
+from .deeplog import DeepLogDetector
+from .ngram import NGramDetector
+from .severity import SeverityDetector
+
+__all__ = ["DeepLogDetector", "NGramDetector", "SeverityDetector"]

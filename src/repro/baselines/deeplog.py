@@ -1,0 +1,150 @@
+"""DeepLog-style anomaly detection baseline (Du et al., CCS 2017).
+
+DeepLog trains a stacked LSTM over log-key sequences of *normal*
+execution and flags a log entry as anomalous when the observed key is
+absent from the model's top-*g* next-key predictions.  It operates at
+the per-entry level, has no lead-time concept and no failure-chain
+notion — the conceptual differences Table 11 enumerates.
+
+To compare against Desh on node-failure prediction, per-entry anomalies
+are lifted to episode verdicts: an episode is flagged when at least
+``min_anomalies`` of its events are per-entry anomalous.  The "lead
+time" of a flagged episode is measured from the first anomalous entry —
+charitable to DeepLog, and still structurally different from Desh's
+learned dT prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.chains import Episode, segment_episodes
+from ..core.phase3 import EpisodeVerdict
+from ..errors import NotFittedError, TrainingError
+from ..events import EventSequence
+from ..nn.data import windows_from_sequences
+from ..nn.model import SequenceClassifier
+from ..nn.optimizers import SGD
+
+__all__ = ["DeepLogDetector"]
+
+
+@dataclass
+class DeepLogConfig:
+    history: int = 5
+    top_g: int = 6
+    min_anomalies: int = 1
+    hidden_size: int = 64
+    num_layers: int = 2
+    embed_dim: int = 24
+    epochs: int = 6
+    batch_size: int = 64
+    learning_rate: float = 0.5
+
+
+class DeepLogDetector:
+    """Per-entry top-g next-key anomaly detector over phrase sequences."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        *,
+        config: DeepLogConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        if vocab_size < 2:
+            raise TrainingError(f"vocab_size must be >= 2, got {vocab_size}")
+        self.vocab_size = vocab_size
+        self.config = config if config is not None else DeepLogConfig()
+        if self.config.top_g < 1 or self.config.top_g > vocab_size:
+            raise TrainingError("top_g must be in [1, vocab_size]")
+        self.seed = seed
+        self._model: SequenceClassifier | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, sequences: Sequence[np.ndarray]) -> "DeepLogDetector":
+        """Train the next-key model on per-node phrase-id sequences."""
+        cfg = self.config
+        x, y = windows_from_sequences(list(sequences), cfg.history, 1)
+        if len(x) == 0:
+            raise TrainingError("DeepLog received no training windows")
+        model = SequenceClassifier(
+            self.vocab_size,
+            embed_dim=cfg.embed_dim,
+            hidden_size=cfg.hidden_size,
+            num_layers=cfg.num_layers,
+            steps=1,
+            seed=self.seed,
+        )
+        model.fit(
+            x,
+            y,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            optimizer=SGD(cfg.learning_rate, momentum=0.9),
+            rng=np.random.default_rng(self.seed + 3),
+        )
+        self._model = model
+        return self
+
+    # ------------------------------------------------------------------
+    def entry_anomalies(self, sequence: np.ndarray) -> np.ndarray:
+        """Boolean per-entry anomaly mask for one phrase-id sequence.
+
+        Entry *i* (for ``i >= history``) is anomalous when it is absent
+        from the top-g predictions given the preceding *history* keys.
+        Entries with insufficient history are never anomalous.
+        """
+        if self._model is None:
+            raise NotFittedError("DeepLogDetector.fit has not run")
+        cfg = self.config
+        sequence = np.asarray(sequence)
+        n = len(sequence)
+        mask = np.zeros(n, dtype=bool)
+        if n <= cfg.history:
+            return mask
+        idx = np.arange(n - cfg.history)[:, None]
+        windows = sequence[idx + np.arange(cfg.history)[None, :]]
+        targets = sequence[cfg.history :]
+        topk = self._model.predict_topk(windows, cfg.top_g)[:, 0, :]
+        hits = (topk == targets[:, None]).any(axis=1)
+        mask[cfg.history :] = ~hits
+        return mask
+
+    # ------------------------------------------------------------------
+    def score_episode(self, episode: Episode) -> EpisodeVerdict:
+        """Lift per-entry anomalies to an episode verdict."""
+        mask = self.entry_anomalies(episode.phrase_ids())
+        anomalous = np.flatnonzero(mask)
+        flagged = len(anomalous) >= self.config.min_anomalies
+        if not flagged:
+            return EpisodeVerdict(episode=episode, flagged=False, mse=float("inf"))
+        first = int(anomalous[0])
+        ts = episode.timestamps()
+        return EpisodeVerdict(
+            episode=episode,
+            flagged=True,
+            mse=0.0,
+            decision_index=first,
+            decision_time=float(ts[first]),
+            lead_seconds=float(episode.end_time - ts[first]),
+        )
+
+    def predict_sequences(
+        self,
+        sequences: Sequence[EventSequence],
+        *,
+        gap: float = 600.0,
+        min_events: int = 2,
+    ) -> list[EpisodeVerdict]:
+        """Score every episode of every node stream (Desh-compatible API)."""
+        verdicts: list[EpisodeVerdict] = []
+        for seq in sequences:
+            if seq.node is None:
+                continue
+            for episode in segment_episodes(seq, gap=gap, min_events=min_events):
+                verdicts.append(self.score_episode(episode))
+        return verdicts

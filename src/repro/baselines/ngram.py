@@ -1,0 +1,124 @@
+"""N-gram language-model anomaly detector with backoff.
+
+Represents the pre-neural sequence-mining family the paper's Background
+section discusses: "N-gram models do not correlate semantically close
+words since words are indivisible."  The detector estimates next-key
+distributions from n-gram counts with recursive backoff to shorter
+contexts, and flags an entry whose observed key is outside the top-*g*
+most likely continuations — the same lifting to episode verdicts as the
+DeepLog baseline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..core.chains import Episode, segment_episodes
+from ..core.phase3 import EpisodeVerdict
+from ..errors import NotFittedError, TrainingError
+from ..events import EventSequence
+
+__all__ = ["NGramDetector"]
+
+
+@dataclass
+class NGramConfig:
+    order: int = 3  # context length (trigram model by default)
+    top_g: int = 6
+    min_anomalies: int = 1
+
+
+class NGramDetector:
+    """Backoff n-gram next-key model with top-g anomaly detection."""
+
+    def __init__(self, *, config: NGramConfig | None = None) -> None:
+        self.config = config if config is not None else NGramConfig()
+        if self.config.order < 1:
+            raise TrainingError("order must be >= 1")
+        if self.config.top_g < 1:
+            raise TrainingError("top_g must be >= 1")
+        # _tables[k] maps a length-k context tuple -> Counter of next keys.
+        self._tables: Dict[int, Dict[tuple, Counter]] | None = None
+        self._unigram: Counter | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, sequences: Sequence[np.ndarray]) -> "NGramDetector":
+        """Count n-gram transitions over per-node phrase-id sequences."""
+        order = self.config.order
+        tables: Dict[int, Dict[tuple, Counter]] = {
+            k: defaultdict(Counter) for k in range(1, order + 1)
+        }
+        unigram: Counter = Counter()
+        total = 0
+        for seq in sequences:
+            seq = [int(v) for v in np.asarray(seq)]
+            unigram.update(seq)
+            total += len(seq)
+            for i, key in enumerate(seq):
+                for k in range(1, order + 1):
+                    if i >= k:
+                        tables[k][tuple(seq[i - k : i])][key] += 1
+        if total == 0:
+            raise TrainingError("NGramDetector received no training data")
+        self._tables = {k: dict(v) for k, v in tables.items()}
+        self._unigram = unigram
+        return self
+
+    # ------------------------------------------------------------------
+    def top_candidates(self, context: Sequence[int]) -> list[int]:
+        """Top-g next keys for *context*, backing off to shorter contexts."""
+        if self._tables is None or self._unigram is None:
+            raise NotFittedError("NGramDetector.fit has not run")
+        g = self.config.top_g
+        for k in range(min(self.config.order, len(context)), 0, -1):
+            counter = self._tables[k].get(tuple(int(c) for c in context[-k:]))
+            if counter:
+                return [key for key, _ in counter.most_common(g)]
+        return [key for key, _ in self._unigram.most_common(g)]
+
+    def entry_anomalies(self, sequence: np.ndarray) -> np.ndarray:
+        """Per-entry anomaly mask (entry outside top-g continuations)."""
+        seq = [int(v) for v in np.asarray(sequence)]
+        mask = np.zeros(len(seq), dtype=bool)
+        for i in range(1, len(seq)):
+            context = seq[max(0, i - self.config.order) : i]
+            mask[i] = seq[i] not in self.top_candidates(context)
+        return mask
+
+    # ------------------------------------------------------------------
+    def score_episode(self, episode: Episode) -> EpisodeVerdict:
+        """Lift per-entry anomalies to an episode verdict."""
+        mask = self.entry_anomalies(episode.phrase_ids())
+        anomalous = np.flatnonzero(mask)
+        if len(anomalous) < self.config.min_anomalies:
+            return EpisodeVerdict(episode=episode, flagged=False, mse=float("inf"))
+        first = int(anomalous[0])
+        ts = episode.timestamps()
+        return EpisodeVerdict(
+            episode=episode,
+            flagged=True,
+            mse=0.0,
+            decision_index=first,
+            decision_time=float(ts[first]),
+            lead_seconds=float(episode.end_time - ts[first]),
+        )
+
+    def predict_sequences(
+        self,
+        sequences: Sequence[EventSequence],
+        *,
+        gap: float = 600.0,
+        min_events: int = 2,
+    ) -> list[EpisodeVerdict]:
+        """Score every episode of every node stream (Desh-compatible API)."""
+        verdicts: list[EpisodeVerdict] = []
+        for seq in sequences:
+            if seq.node is None:
+                continue
+            for episode in segment_episodes(seq, gap=gap, min_events=min_events):
+                verdicts.append(self.score_episode(episode))
+        return verdicts

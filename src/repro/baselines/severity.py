@@ -1,0 +1,67 @@
+"""Severity-keyword baseline: flag on any Error-labeled phrase.
+
+The strawman the paper argues against.  Observation 6: "tags such as
+warning or critical with a log message should not be uniquely associated
+with a log event as the context of correlated events ... is indicative
+of anomalies, not a single event by itself."  This detector flags every
+episode containing at least ``min_error_events`` Error-labeled phrases —
+it achieves high recall (every failure chain contains error phrases) but
+poor precision, since near-miss sequences carry the same phrases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.chains import Episode, segment_episodes
+from ..core.phase3 import EpisodeVerdict
+from ..errors import ConfigError
+from ..events import EventSequence, Label
+
+__all__ = ["SeverityDetector"]
+
+
+@dataclass(frozen=True)
+class SeverityDetector:
+    """Flag any episode containing Error-labeled ("fatal severity") phrases."""
+
+    min_error_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_error_events < 1:
+            raise ConfigError("min_error_events must be >= 1")
+
+    def score_episode(self, episode: Episode) -> EpisodeVerdict:
+        """Flag the episode iff it contains enough Error-labeled events."""
+        error_positions = [
+            i for i, e in enumerate(episode.events) if e.label == Label.ERROR
+        ]
+        if len(error_positions) < self.min_error_events:
+            return EpisodeVerdict(episode=episode, flagged=False, mse=float("inf"))
+        first = error_positions[0]
+        ts = episode.timestamps()
+        return EpisodeVerdict(
+            episode=episode,
+            flagged=True,
+            mse=0.0,
+            decision_index=first,
+            decision_time=float(ts[first]),
+            lead_seconds=float(episode.end_time - ts[first]),
+        )
+
+    def predict_sequences(
+        self,
+        sequences: Sequence[EventSequence],
+        *,
+        gap: float = 600.0,
+        min_events: int = 2,
+    ) -> list[EpisodeVerdict]:
+        """Score every episode of every node stream (Desh-compatible API)."""
+        verdicts: list[EpisodeVerdict] = []
+        for seq in sequences:
+            if seq.node is None:
+                continue
+            for episode in segment_episodes(seq, gap=gap, min_events=min_events):
+                verdicts.append(self.score_episode(episode))
+        return verdicts

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Write a synthetic system log (and its ground truth) to disk.
+``train``
+    Train a Desh model on a raw log file; persists the phase-2 regressor,
+    the phrase vocabulary and the scaler parameters to a model directory.
+``predict``
+    Load a trained model directory and emit failure warnings for a test
+    log.
+``evaluate``
+    End-to-end: generate (or read) a system, train on the 30% split and
+    print the Table-6 metrics plus lead times for the rest.
+
+Examples
+--------
+::
+
+    python -m repro generate --system M3 --seed 7 --out m3.log.gz \
+        --ground-truth m3.json
+    python -m repro train --log m3.log.gz --fraction 0.3 --model-dir model/
+    python -m repro predict --log m3.log.gz --model-dir model/
+    python -m repro evaluate --system M4 --seed 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis import Evaluator, lead_time_overall
+from .config import DeshConfig
+from .core import Desh, DeshModel, Phase3Predictor
+from .core.deltas import LeadTimeScaler
+from .errors import ReproError
+from .io import chronological_split, read_records, save_ground_truth, write_log
+from .nn.model import SequenceRegressor
+from .parsing import LogParser, PhraseVocabulary
+from .simlog import generate_system
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Desh (HPDC'18) reproduction: node-failure lead-time prediction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a synthetic system log")
+    g.add_argument("--system", default="M3", help="preset name (M1..M4)")
+    g.add_argument("--seed", type=int, default=2018)
+    g.add_argument("--out", required=True, help="log file path (.gz supported)")
+    g.add_argument("--ground-truth", help="optional ground-truth JSON path")
+
+    t = sub.add_parser("train", help="train Desh on a raw log file")
+    t.add_argument("--log", required=True, help="raw training log")
+    t.add_argument("--fraction", type=float, default=1.0, help="leading time fraction to use")
+    t.add_argument("--model-dir", required=True, help="output directory")
+    t.add_argument("--seed", type=int, default=2018)
+
+    p = sub.add_parser("predict", help="emit warnings for a test log")
+    p.add_argument("--log", required=True, help="raw test log")
+    p.add_argument("--model-dir", required=True, help="trained model directory")
+
+    e = sub.add_parser("evaluate", help="full generate/train/test evaluation")
+    e.add_argument("--system", default="M3")
+    e.add_argument("--seed", type=int, default=2018)
+    e.add_argument("--train-fraction", type=float, default=0.3)
+
+    r = sub.add_parser("report", help="write a markdown evaluation report")
+    r.add_argument("--system", default="M3")
+    r.add_argument("--seed", type=int, default=2018)
+    r.add_argument("--train-fraction", type=float, default=0.3)
+    r.add_argument("--out", required=True, help="markdown output path")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# model persistence
+# ----------------------------------------------------------------------
+def save_model(model: DeshModel, directory: str | Path) -> None:
+    """Persist the inference-relevant parts of a trained model."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    model.phase2.regressor.save(directory / "phase2.npz")
+    model.parser.vocab.save(directory / "vocab.json")
+    meta = {
+        "max_lead_seconds": model.phase2.scaler.max_lead_seconds,
+        "vocab_size": model.phase2.scaler.vocab_size,
+        "id_scale": model.phase2.scaler.id_scale,
+        "num_chains": model.num_chains,
+        "config_seed": model.config.seed,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=1))
+
+
+def load_predictor(
+    directory: str | Path, config: DeshConfig
+) -> tuple[LogParser, Phase3Predictor]:
+    """Rebuild a parser + phase-3 predictor from a model directory.
+
+    The parser is reconstructed from the persisted vocabulary so phrase
+    ids match training exactly; the learned regressor weights and scaler
+    parameters come from disk.
+    """
+    directory = Path(directory)
+    regressor = SequenceRegressor.load(directory / "phase2.npz")
+    meta = json.loads((directory / "meta.json").read_text())
+    scaler = LeadTimeScaler(
+        max_lead_seconds=float(meta["max_lead_seconds"]),
+        vocab_size=int(meta["vocab_size"]),
+        id_scale=float(meta["id_scale"]),
+    )
+    vocab = PhraseVocabulary.load(directory / "vocab.json")
+    parser = LogParser.from_vocabulary(vocab)
+    predictor = Phase3Predictor(
+        regressor,
+        scaler,
+        config=config.phase3,
+        episode_gap=config.phase2.max_lead_seconds,
+    )
+    return parser, predictor
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a synthetic system log (+ ground truth)."""
+    log = generate_system(args.system, seed=args.seed)
+    count = write_log(args.out, log.records)
+    print(f"wrote {count} records to {args.out}")
+    if args.ground_truth:
+        save_ground_truth(args.ground_truth, log.ground_truth)
+        print(f"wrote ground truth to {args.ground_truth}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: fit Desh on a raw log and persist the model."""
+    records = list(read_records(args.log))
+    if not 0.0 < args.fraction <= 1.0:
+        raise ReproError(f"--fraction must be in (0, 1], got {args.fraction}")
+    if args.fraction < 1.0:
+        records, _ = chronological_split(records, args.fraction)
+    config = DeshConfig(seed=args.seed)
+    model = Desh(config).fit(records, train_classifier=False)
+    save_model(model, args.model_dir)
+    print(
+        f"trained on {len(records)} records: {model.num_phrases} phrases, "
+        f"{model.num_chains} failure chains -> {args.model_dir}"
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """``repro predict``: emit failure warnings for a test log."""
+    config = DeshConfig()
+    parser, predictor = load_predictor(args.model_dir, config)
+    records = list(read_records(args.log))
+    parsed = parser.transform(records)
+    sequences = [s for s in parsed.by_node().values() if s.node is not None]
+    verdicts = predictor.predict_sequences(sequences)
+    from .core.alerts import FailureWarning
+
+    warnings = [
+        FailureWarning.from_prediction(p) for p in predictor.predictions(verdicts)
+    ]
+    for w in warnings:
+        print(w.message())
+    print(f"{len(warnings)} warnings over {len(records)} records", file=sys.stderr)
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """``repro evaluate``: end-to-end train/test with Table-6 metrics."""
+    log = generate_system(args.system, seed=args.seed)
+    train, test = log.split(args.train_fraction)
+    model = Desh(DeshConfig(seed=args.seed)).fit(
+        list(train.records), train_classifier=False
+    )
+    result = Evaluator(test.ground_truth).evaluate(model.score(test.records))
+    m = result.metrics
+    lead = lead_time_overall(result)
+    print(f"system {args.system} (seed {args.seed}):")
+    print(f"  recall    {m.recall:6.2f}%   precision {m.precision:6.2f}%")
+    print(f"  accuracy  {m.accuracy:6.2f}%   F1        {m.f1:6.2f}%")
+    print(f"  FP rate   {m.fp_rate:6.2f}%   FN rate   {m.fn_rate:6.2f}%")
+    print(f"  avg lead  {lead.mean:6.1f}s over {lead.count} true positives")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: write a full markdown evaluation report."""
+    from .analysis import system_report
+
+    log = generate_system(args.system, seed=args.seed)
+    train, test = log.split(args.train_fraction)
+    model = Desh(DeshConfig(seed=args.seed)).fit(
+        list(train.records), train_classifier=False
+    )
+    report = system_report(
+        model,
+        test.records,
+        test.ground_truth,
+        title=f"Desh evaluation report - system {args.system}",
+    )
+    Path(args.out).write_text(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "train": cmd_train,
+    "predict": cmd_predict,
+    "evaluate": cmd_evaluate,
+    "report": cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: the three-phase Desh pipeline.
+
+* :mod:`~repro.core.chains` — failure-chain formation from labeled event
+  streams (phase 1's output, Section 3.1),
+* :mod:`~repro.core.deltas` — cumulative delta-time computation and the
+  (dT, phrase) vector encoding (Table 4, Section 3.2),
+* :mod:`~repro.core.phase1` — embedding + phrase-sequence LSTM training,
+* :mod:`~repro.core.phase2` — (dT, phrase) regressor on failure chains,
+* :mod:`~repro.core.phase3` — per-node inference with the MSE <= 0.5
+  match rule and lead-time extraction (Section 3.3),
+* :mod:`~repro.core.desh` — the `Desh` facade tying it all together,
+* :mod:`~repro.core.alerts` — operator-facing failure warnings.
+"""
+
+from .chains import FailureChain, ChainExtractor, Episode, segment_episodes
+from .deltas import LeadTimeScaler, chain_to_deltas
+from .phase1 import Phase1Trainer, Phase1Result
+from .phase2 import Phase2Trainer, Phase2Result
+from .phase3 import Phase3Predictor, EpisodeVerdict, FailurePrediction
+from .desh import Desh, DeshModel
+from .alerts import FailureWarning
+from .classify import FailureClassifier, classify_by_keywords
+from .monitor import StreamingMonitor
+
+__all__ = [
+    "FailureChain",
+    "ChainExtractor",
+    "Episode",
+    "segment_episodes",
+    "LeadTimeScaler",
+    "chain_to_deltas",
+    "Phase1Trainer",
+    "Phase1Result",
+    "Phase2Trainer",
+    "Phase2Result",
+    "Phase3Predictor",
+    "EpisodeVerdict",
+    "FailurePrediction",
+    "Desh",
+    "DeshModel",
+    "FailureWarning",
+    "FailureClassifier",
+    "classify_by_keywords",
+    "StreamingMonitor",
+]

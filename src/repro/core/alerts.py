@@ -1,0 +1,75 @@
+"""Operator-facing failure warnings.
+
+Section 4.5: "Desh can warn, *In 2.5 minutes, node X located in Y is
+expected to fail*. The node id (e.g., cA-cBcCsSnN) contains the exact
+location information."  :class:`FailureWarning` renders exactly that
+message from a phase-3 prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..topology.cray import CrayNodeId
+from .phase3 import FailurePrediction
+
+__all__ = ["FailureWarning"]
+
+
+@dataclass(frozen=True)
+class FailureWarning:
+    """Human-readable impending-failure warning with exact location.
+
+    ``likely_class`` optionally carries the attributed Table-7 failure
+    class (from :class:`~repro.core.classify.FailureClassifier`), so the
+    operator knows not just *when* but *what kind* of failure to expect.
+    """
+
+    node: Optional[CrayNodeId]
+    decision_time: float
+    lead_seconds: float
+    mse: float
+    likely_class: Optional[str] = None
+
+    @classmethod
+    def from_prediction(
+        cls,
+        prediction: FailurePrediction,
+        *,
+        likely_class: Optional[str] = None,
+    ) -> "FailureWarning":
+        """Build a warning from a phase-3 prediction."""
+        return cls(
+            node=prediction.node,
+            decision_time=prediction.decision_time,
+            lead_seconds=prediction.lead_seconds,
+            mse=prediction.mse,
+            likely_class=likely_class,
+        )
+
+    @property
+    def lead_minutes(self) -> float:
+        """Predicted lead time in minutes."""
+        return self.lead_seconds / 60.0
+
+    def message(self) -> str:
+        """The Section-4.5 warning sentence.
+
+        >>> from repro.topology import CrayNodeId
+        >>> FailureWarning(CrayNodeId(1, 0, 2, 5, 3), 0.0, 150.0, 0.1).message()
+        'In 2.5 minutes, node c1-0c2s5n3 located at cabinet c1-0, chassis 2, blade 5, node 3 is expected to fail.'
+        """
+        suffix = f" (likely {self.likely_class})" if self.likely_class else ""
+        if self.node is None:
+            return (
+                f"In {self.lead_minutes:.1f} minutes, a system-level failure "
+                f"is expected.{suffix}"
+            )
+        return (
+            f"In {self.lead_minutes:.1f} minutes, node {self.node} located at "
+            f"{self.node.location_phrase()} is expected to fail.{suffix}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to message()
+        return self.message()

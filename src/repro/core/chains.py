@@ -1,0 +1,231 @@
+"""Failure-chain formation and episode segmentation.
+
+After phase-1 labeling, "a sequence of events leading to a node failure
+is formed using Unknown (U) and Error (E) tagged phrases after referring
+to the raw data, since terminal messages indicating a node going down
+are known" (Section 3.1).  A :class:`FailureChain` is such a sequence:
+the U/E events of one node inside a lookback window before a terminal
+message, the terminal included.
+
+Two practical rules from the paper are implemented here:
+
+* **Maintenance filtering** — "Large-scale node reboots clearly indicate
+  service-oriented shutdowns" (Section 2).  When many terminal messages
+  land within a short machine-wide window, they are service shutdowns,
+  not anomalous failures, and produce no chains.
+* **Episode segmentation** — at test time the same U/E streams are cut
+  into *episodes*: maximal runs of anomalous events whose inter-event
+  gaps stay below the lookback window.  Each episode is a candidate
+  failure sequence for phase 3 to score (it may be a true chain, a
+  near-miss, or ambient clutter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ChainExtractionError
+from ..events import EventSequence, Label, ParsedEvent
+from ..topology.cray import CrayNodeId
+
+__all__ = ["FailureChain", "Episode", "ChainExtractor", "segment_episodes"]
+
+
+@dataclass(frozen=True)
+class FailureChain:
+    """One extracted failure chain: U/E events ending in a terminal."""
+
+    node: Optional[CrayNodeId]
+    events: tuple[ParsedEvent, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.events) < 2:
+            raise ChainExtractionError("a chain needs at least 2 events")
+        if not self.events[-1].terminal:
+            raise ChainExtractionError("chain must end in a terminal event")
+        times = [e.timestamp for e in self.events]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ChainExtractionError("chain events must be time-ordered")
+        if any(e.label == Label.SAFE for e in self.events):
+            raise ChainExtractionError("chains must not contain Safe events")
+
+    @property
+    def terminal_time(self) -> float:
+        """Timestamp of the terminal (node-down) message."""
+        return self.events[-1].timestamp
+
+    @property
+    def lead_time(self) -> float:
+        """Seconds from the first anomalous event to the terminal."""
+        return self.terminal_time - self.events[0].timestamp
+
+    def phrase_ids(self) -> np.ndarray:
+        """Phrase ids of the chain events, in order."""
+        return np.array([e.phrase_id for e in self.events], dtype=np.int64)
+
+    def timestamps(self) -> np.ndarray:
+        """Timestamps of the chain events, in order."""
+        return np.array([e.timestamp for e in self.events], dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A candidate anomalous sequence observed at test time."""
+
+    node: Optional[CrayNodeId]
+    events: tuple[ParsedEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ChainExtractionError("an episode needs at least 1 event")
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first anomalous event."""
+        return self.events[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last observed event."""
+        return self.events[-1].timestamp
+
+    @property
+    def ends_in_terminal(self) -> bool:
+        """Whether the episode closed with a node-down message."""
+        return self.events[-1].terminal
+
+    def phrase_ids(self) -> np.ndarray:
+        """Phrase ids of the episode events, in order."""
+        return np.array([e.phrase_id for e in self.events], dtype=np.int64)
+
+    def timestamps(self) -> np.ndarray:
+        """Timestamps of the episode events, in order."""
+        return np.array([e.timestamp for e in self.events], dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class ChainExtractor:
+    """Extract failure chains from labeled per-node event streams.
+
+    Parameters
+    ----------
+    lookback:
+        Seconds before a terminal message inside which U/E events belong
+        to its chain (bounds the longest learnable lead time).
+    mass_window / mass_threshold:
+        Terminal messages from >= ``mass_threshold`` distinct nodes within
+        ``mass_window`` seconds are classified as a maintenance shutdown
+        and dropped.
+    min_events:
+        Chains shorter than this (terminal included) are discarded as
+        unlearnable.
+    """
+
+    lookback: float = 600.0
+    mass_window: float = 60.0
+    mass_threshold: int = 5
+    min_events: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lookback <= 0:
+            raise ChainExtractionError("lookback must be > 0")
+        if self.mass_window <= 0:
+            raise ChainExtractionError("mass_window must be > 0")
+        if self.mass_threshold < 2:
+            raise ChainExtractionError("mass_threshold must be >= 2")
+        if self.min_events < 2:
+            raise ChainExtractionError("min_events must be >= 2")
+
+    # ------------------------------------------------------------------
+    def maintenance_terminals(
+        self, sequences: Sequence[EventSequence]
+    ) -> set[tuple[Optional[CrayNodeId], float]]:
+        """Identify terminal events that belong to mass shutdowns.
+
+        Returns the set of ``(node, timestamp)`` keys to be excluded from
+        chain formation.
+        """
+        terminals: list[tuple[float, Optional[CrayNodeId]]] = []
+        for seq in sequences:
+            for e in seq:
+                if e.terminal:
+                    terminals.append((e.timestamp, seq.node))
+        terminals.sort()
+        excluded: set[tuple[Optional[CrayNodeId], float]] = set()
+        i = 0
+        n = len(terminals)
+        while i < n:
+            j = i
+            nodes = set()
+            while j < n and terminals[j][0] - terminals[i][0] <= self.mass_window:
+                nodes.add(terminals[j][1])
+                j += 1
+            if len(nodes) >= self.mass_threshold:
+                for t, node in terminals[i:j]:
+                    excluded.add((node, t))
+            i = j if j > i + 1 else i + 1
+        return excluded
+
+    # ------------------------------------------------------------------
+    def extract(self, sequences: Sequence[EventSequence]) -> list[FailureChain]:
+        """Form failure chains from per-node sequences (Safe events ignored)."""
+        excluded = self.maintenance_terminals(sequences)
+        chains: list[FailureChain] = []
+        for seq in sequences:
+            anomalous = [e for e in seq if e.label != Label.SAFE]
+            for idx, e in enumerate(anomalous):
+                if not e.terminal or (seq.node, e.timestamp) in excluded:
+                    continue
+                lo = e.timestamp - self.lookback
+                members = [
+                    a
+                    for a in anomalous[:idx]
+                    if lo <= a.timestamp <= e.timestamp and not a.terminal
+                ]
+                members.append(e)
+                if len(members) >= self.min_events:
+                    chains.append(FailureChain(seq.node, tuple(members)))
+        chains.sort(key=lambda c: c.terminal_time)
+        return chains
+
+
+def segment_episodes(
+    sequence: EventSequence,
+    *,
+    gap: float = 600.0,
+    min_events: int = 2,
+) -> list[Episode]:
+    """Cut one node's U/E stream into candidate episodes.
+
+    Consecutive anomalous events separated by at most *gap* seconds stay
+    in the same episode; a terminal event always closes its episode.
+    Episodes shorter than *min_events* are dropped (ambient one-off
+    anomalies are not candidate failures).
+    """
+    if gap <= 0:
+        raise ChainExtractionError("gap must be > 0")
+    if min_events < 1:
+        raise ChainExtractionError("min_events must be >= 1")
+    anomalous = [e for e in sequence if e.label != Label.SAFE]
+    episodes: list[Episode] = []
+    current: list[ParsedEvent] = []
+    for e in anomalous:
+        if current and (
+            e.timestamp - current[-1].timestamp > gap or current[-1].terminal
+        ):
+            if len(current) >= min_events:
+                episodes.append(Episode(sequence.node, tuple(current)))
+            current = []
+        current.append(e)
+    if len(current) >= min_events:
+        episodes.append(Episode(sequence.node, tuple(current)))
+    return episodes

@@ -1,0 +1,96 @@
+"""Streaming failure monitor: online scoring over a live record feed.
+
+The paper evaluates offline ("the training phases 1 and 2 are performed
+offline"), but its motivation is operational: warn *before* the node
+dies so jobs can be migrated.  :class:`StreamingMonitor` provides that
+deployment surface over a trained model — it consumes raw log records
+in timestamp order, maintains per-node episode buffers, scores each
+growing episode with the phase-3 online mode, and emits one
+:class:`~repro.core.alerts.FailureWarning` per matched episode.
+
+The per-episode single-alert rule mirrors real alerting practice: once a
+node is flagged, further events of the same episode do not re-alert;
+the buffer resets when the episode closes (terminal seen or the gap
+exceeds the episode window).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..events import Label, ParsedEvent
+from ..simlog.record import LogRecord
+from ..topology.cray import CrayNodeId
+from .alerts import FailureWarning
+from .desh import DeshModel
+
+__all__ = ["StreamingMonitor"]
+
+
+class StreamingMonitor:
+    """Per-node streaming episode tracker over a trained Desh model."""
+
+    def __init__(self, model: DeshModel, *, episode_gap: float = 600.0) -> None:
+        self.model = model
+        self.gap = episode_gap
+        self._buffers: dict[CrayNodeId, list[ParsedEvent]] = {}
+        self._alerted: set[CrayNodeId] = set()
+        self.records_seen = 0
+        self.warnings_raised = 0
+
+    # ------------------------------------------------------------------
+    def feed(self, record: LogRecord) -> Optional[FailureWarning]:
+        """Consume one record; returns a warning when a flag fires.
+
+        Safe-labeled, out-of-vocabulary and system-level records never
+        alert.  A node alerts at most once per episode.
+        """
+        self.records_seen += 1
+        event = self.model.parser.encode(record)
+        if event is None or event.node is None or event.label == Label.SAFE:
+            return None
+        buf = self._buffers.setdefault(event.node, [])
+        if buf and (
+            event.timestamp - buf[-1].timestamp > self.gap or buf[-1].terminal
+        ):
+            buf.clear()
+            self._alerted.discard(event.node)
+        buf.append(event)
+        if event.node in self._alerted:
+            return None
+        flagged, mse, lead = self.model.predictor.score_partial(buf)
+        if not flagged:
+            return None
+        self._alerted.add(event.node)
+        self.warnings_raised += 1
+        likely = None
+        if self.model.classifier is not None:
+            from .chains import Episode
+
+            likely = self.model.classifier.classify(
+                Episode(event.node, tuple(buf))
+            ).value
+        return FailureWarning(
+            node=event.node,
+            decision_time=event.timestamp,
+            lead_seconds=lead,
+            mse=mse,
+            likely_class=likely,
+        )
+
+    def run(self, records: Iterable[LogRecord]) -> Iterator[FailureWarning]:
+        """Generator form: yield warnings while replaying a record feed."""
+        for record in records:
+            warning = self.feed(record)
+            if warning is not None:
+                yield warning
+
+    # ------------------------------------------------------------------
+    def pending_nodes(self) -> list[CrayNodeId]:
+        """Nodes with an open (non-empty) anomalous episode."""
+        return [node for node, buf in self._buffers.items() if buf]
+
+    def reset(self) -> None:
+        """Clear all per-node state (e.g. after a maintenance window)."""
+        self._buffers.clear()
+        self._alerted.clear()

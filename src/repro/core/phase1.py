@@ -1,0 +1,151 @@
+"""Phase 1: train to recognize chains of log events leading to a failure.
+
+Pipeline (Section 3.1, Figure 3a):
+
+1. per-node phrase-id sequences are built from the parsed training events
+   (node logs concatenated, i.e. windowed per node and pooled);
+2. skip-gram word embeddings vectorize the encoded phrases (8-left /
+   3-right context windows);
+3. a 2-hidden-layer stacked LSTM trains with SGD + categorical
+   cross-entropy to perform 3-step next-phrase prediction over history
+   windows of size 8;
+4. phrases are labeled Safe / Unknown / Error; Safe phrases are dropped
+   and failure chains are formed around the known terminal messages.
+
+The phase's artifacts — embeddings, the sequence classifier, and the
+extracted failure chains — feed phase 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import EmbeddingConfig, Phase1Config
+from ..errors import TrainingError
+from ..events import EventSequence
+from ..nn.data import windows_from_sequences
+from ..nn.embeddings import SkipGramEmbedder
+from ..nn.model import SequenceClassifier
+from ..nn.optimizers import SGD
+from ..parsing.pipeline import LogParser, ParseResult
+from .chains import ChainExtractor, FailureChain
+
+__all__ = ["Phase1Trainer", "Phase1Result"]
+
+
+@dataclass
+class Phase1Result:
+    """Artifacts emitted by phase-1 training."""
+
+    embedder: SkipGramEmbedder
+    classifier: Optional[SequenceClassifier]
+    chains: list[FailureChain]
+    sequences: list[EventSequence]
+    train_accuracy: float = 0.0
+    losses: list[float] = field(default_factory=list)
+
+    @property
+    def num_chains(self) -> int:
+        """Number of extracted failure chains."""
+        return len(self.chains)
+
+
+class Phase1Trainer:
+    """Run the full phase-1 training pass."""
+
+    def __init__(
+        self,
+        parser: LogParser,
+        *,
+        config: Phase1Config | None = None,
+        embedding_config: EmbeddingConfig | None = None,
+        chain_extractor: ChainExtractor | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.parser = parser
+        self.config = config if config is not None else Phase1Config()
+        self.embedding_config = (
+            embedding_config if embedding_config is not None else EmbeddingConfig()
+        )
+        self.chain_extractor = (
+            chain_extractor if chain_extractor is not None else ChainExtractor()
+        )
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def train(
+        self, parsed: ParseResult, *, train_classifier: bool = True
+    ) -> Phase1Result:
+        """Train embeddings + sequence LSTM, then extract failure chains.
+
+        ``train_classifier=False`` skips the (comparatively expensive)
+        LSTM fit when only the chains are needed — e.g. in benches that
+        evaluate downstream stages in isolation.
+        """
+        if len(parsed) == 0:
+            raise TrainingError("phase 1 received no parsed events")
+        sequences = [
+            seq for seq in parsed.by_node().values() if seq.node is not None
+        ]
+        if not sequences:
+            raise TrainingError("phase 1 needs node-attributed events")
+
+        id_sequences = [seq.phrase_ids() for seq in sequences]
+        vocab_size = max(2, self.parser.num_phrases)
+
+        rng = np.random.default_rng(self.seed)
+        embedder = SkipGramEmbedder(vocab_size, self.embedding_config)
+        embedder.fit(id_sequences, rng, counts=self._padded_counts(vocab_size))
+
+        classifier: Optional[SequenceClassifier] = None
+        losses: list[float] = []
+        accuracy = 0.0
+        if train_classifier:
+            cfg = self.config
+            x, y = windows_from_sequences(
+                id_sequences, cfg.history_size, cfg.prediction_steps
+            )
+            if len(x) == 0:
+                raise TrainingError(
+                    "no training windows; sequences shorter than "
+                    f"history ({cfg.history_size}) + steps ({cfg.prediction_steps})"
+                )
+            classifier = SequenceClassifier(
+                vocab_size,
+                embed_dim=self.embedding_config.dim,
+                hidden_size=cfg.hidden_size,
+                num_layers=cfg.hidden_layers,
+                steps=cfg.prediction_steps,
+                seed=self.seed,
+                pretrained_embeddings=embedder.vectors,
+            )
+            losses = classifier.fit(
+                x,
+                y,
+                epochs=cfg.epochs,
+                batch_size=cfg.batch_size,
+                optimizer=SGD(cfg.learning_rate, momentum=cfg.momentum),
+                grad_clip=cfg.grad_clip,
+                rng=np.random.default_rng(self.seed + 1),
+            )
+            accuracy = classifier.accuracy(x, y)
+
+        chains = self.chain_extractor.extract(sequences)
+        return Phase1Result(
+            embedder=embedder,
+            classifier=classifier,
+            chains=chains,
+            sequences=sequences,
+            train_accuracy=accuracy,
+            losses=losses,
+        )
+
+    # ------------------------------------------------------------------
+    def _padded_counts(self, vocab_size: int) -> np.ndarray:
+        counts = self.parser.vocab.counts()
+        if len(counts) < vocab_size:
+            counts = np.pad(counts, (0, vocab_size - len(counts)))
+        return counts

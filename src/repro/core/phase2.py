@@ -1,0 +1,162 @@
+"""Phase 2: re-train chain recognition augmented with lead times.
+
+"In this phase, we segregate the phrases forming the failure chains from
+the rest, and compute the time differences between phrases in the
+failure chain to enable lead time prediction" (Section 3.2).
+
+Each failure chain from phase 1 becomes a sequence of normalized
+(dT, phrase) 2-state vectors (Table 4); sliding windows of history 5
+train a stacked-LSTM regressor to 1-step-predict the next vector, with
+MSE loss and the RMSprop optimizer (Table 5).  Chains shorter than
+``history + 1`` samples are *left-padded* by replicating their first
+vector so short chains (e.g. kernel panics with 3-4 messages) still
+contribute windows — without padding the Panic class would be
+untrainable and undetectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..config import Phase2Config
+from ..errors import TrainingError
+from ..nn.data import sliding_windows_continuous
+from ..nn.model import SequenceRegressor
+from ..nn.optimizers import RMSprop
+from .chains import FailureChain
+from .deltas import LeadTimeScaler
+
+__all__ = ["Phase2Trainer", "Phase2Result", "pad_vectors"]
+
+
+def pad_vectors(vectors: np.ndarray, min_length: int) -> np.ndarray:
+    """Left-pad a ``(T, D)`` vector sequence to *min_length* rows.
+
+    Padding replicates the first row, i.e. the chain "holds" at its first
+    observation — a neutral extension that adds no fictitious dynamics.
+    """
+    if vectors.ndim != 2:
+        raise TrainingError(f"vectors must be 2-D, got shape {vectors.shape}")
+    t = len(vectors)
+    if t >= min_length:
+        return vectors
+    pad = np.repeat(vectors[:1], min_length - t, axis=0)
+    return np.concatenate([pad, vectors], axis=0)
+
+
+@dataclass
+class Phase2Result:
+    """Artifacts of phase-2 training."""
+
+    regressor: SequenceRegressor
+    scaler: LeadTimeScaler
+    num_chains: int
+    num_windows: int
+    losses: list[float] = field(default_factory=list)
+
+
+class Phase2Trainer:
+    """Train the (dT, phrase) lead-time regressor on failure chains."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        *,
+        config: Phase2Config | None = None,
+        seed: int = 0,
+    ) -> None:
+        if vocab_size < 2:
+            raise TrainingError(f"vocab_size must be >= 2, got {vocab_size}")
+        self.vocab_size = vocab_size
+        self.config = config if config is not None else Phase2Config()
+        self.seed = seed
+        self.scaler = LeadTimeScaler(
+            max_lead_seconds=self.config.max_lead_seconds, vocab_size=vocab_size
+        )
+
+    # ------------------------------------------------------------------
+    def chain_vectors(self, chain: FailureChain) -> np.ndarray:
+        """Normalized (dT, phrase) vectors of one chain, left-padded.
+
+        Every chain is left-padded by ``history`` replicated first rows so
+        a training window exists for *every* real event — including the
+        earliest chain events, whose windows are mostly padding.  Phase 3
+        uses the identical padding, which is what lets a flag be raised
+        after observing only the first couple of anomalous events (the
+        long-lead-time regime of Figure 8).
+        """
+        vectors = self.scaler.encode_chain(chain.timestamps(), chain.phrase_ids())
+        return pad_vectors(vectors, len(vectors) + self.config.history_size)
+
+    def build_windows(
+        self, chains: Sequence[FailureChain]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Training windows over every chain: ``(N, H, 2)`` and ``(N, 2)``.
+
+        Besides the clean windows, ``augment_copies`` corrupted copies are
+        appended per chain (input rows randomly replaced with noise
+        vectors, targets untouched) so the regressor tolerates ambient
+        anomalies interleaved with real chains.
+        """
+        if not chains:
+            raise TrainingError("phase 2 received no failure chains")
+        cfg = self.config
+        rng = np.random.default_rng(self.seed + 7)
+        xs, ys = [], []
+        for chain in chains:
+            vecs = self.chain_vectors(chain)
+            x, y = sliding_windows_continuous(vecs, cfg.history_size, 1)
+            if not len(x):
+                continue
+            xs.append(x)
+            ys.append(y[:, 0, :])
+            for _ in range(cfg.augment_copies):
+                if cfg.corrupt_prob <= 0:
+                    break
+                xa = x.copy()
+                mask = rng.random(xa.shape[:2]) < cfg.corrupt_prob
+                noise = np.empty((int(mask.sum()), 2))
+                noise[:, 0] = rng.random(len(noise))
+                noise[:, 1] = (
+                    rng.integers(0, self.vocab_size, len(noise))
+                    / self.vocab_size
+                    * self.scaler.id_scale
+                )
+                xa[mask] = noise
+                xs.append(xa)
+                ys.append(y[:, 0, :])
+        if not xs:
+            raise TrainingError("no phase-2 windows could be formed")
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+    # ------------------------------------------------------------------
+    def train(self, chains: Sequence[FailureChain]) -> Phase2Result:
+        """Fit the regressor on all chains' delta-vector windows."""
+        cfg = self.config
+        x, y = self.build_windows(chains)
+        regressor = SequenceRegressor(
+            2,
+            output_dim=2,
+            hidden_size=cfg.hidden_size,
+            num_layers=cfg.hidden_layers,
+            seed=self.seed,
+        )
+        losses = regressor.fit(
+            x,
+            y,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            optimizer=RMSprop(cfg.learning_rate, rho=cfg.rho),
+            grad_clip=cfg.grad_clip,
+            rng=np.random.default_rng(self.seed + 2),
+        )
+        return Phase2Result(
+            regressor=regressor,
+            scaler=self.scaler,
+            num_chains=len(chains),
+            num_windows=len(x),
+            losses=losses,
+        )

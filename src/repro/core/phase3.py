@@ -1,0 +1,225 @@
+"""Phase 3: per-node inference — flag failures and predict lead times.
+
+Section 3.3: the test data is encoded into the same (dT, phrase) vectors
+as phase 2, per node ("the vectors are not concatenated across nodes as
+in phase 1 and 2 ... we form batches corresponding to distinct nodes").
+The trained LSTM predicts the next sample of each window; the prediction
+is compared with the observed test vector and the MSE computed.  "We use
+a threshold of 0.5 for inferring node failures" — windows with
+MSE <= 0.5 are matches against the trained failure chains.  The dT of
+the sample at which the failure is flagged is the predicted lead time:
+"if a failure is flagged after checking P3 we get 2.5 minutes lead time
+... the earlier we flag the longer the lead" (Section 4.2).
+
+The *flag position* — how many anomalous events must be observed before
+a flag may be raised — is the sensitivity knob of Figure 8: requiring
+fewer events flags earlier (longer lead times, more false positives).
+
+An *online* scoring mode (:meth:`Phase3Predictor.score_partial`) anchors
+the dT encoding at the newest observed event instead of the episode end,
+so a live monitor can score a growing episode without future knowledge;
+the model's own predicted dT, decoded back to seconds, is the lead-time
+estimate.  This goes beyond the paper's offline evaluation but exercises
+the identical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import Phase3Config
+from ..errors import PredictionError
+from ..events import EventSequence, ParsedEvent
+from ..nn.data import sliding_windows_continuous
+from ..nn.model import SequenceRegressor
+from ..topology.cray import CrayNodeId
+from .chains import Episode, segment_episodes
+from .deltas import LeadTimeScaler
+from .phase2 import pad_vectors
+
+__all__ = ["Phase3Predictor", "EpisodeVerdict", "FailurePrediction"]
+
+
+@dataclass(frozen=True)
+class EpisodeVerdict:
+    """Scoring outcome for one candidate episode."""
+
+    episode: Episode
+    flagged: bool
+    mse: float
+    decision_index: int = -1
+    decision_time: float = float("nan")
+    lead_seconds: float = 0.0
+
+    @property
+    def node(self) -> Optional[CrayNodeId]:
+        """The node the scored episode belongs to."""
+        return self.episode.node
+
+
+@dataclass(frozen=True)
+class FailurePrediction:
+    """A raised failure flag: which node, when, and how much warning."""
+
+    node: Optional[CrayNodeId]
+    decision_time: float
+    lead_seconds: float
+    mse: float
+
+    @property
+    def predicted_failure_time(self) -> float:
+        """Absolute time at which the node is expected to fail."""
+        return self.decision_time + self.lead_seconds
+
+
+class Phase3Predictor:
+    """Score per-node episodes against the trained failure-chain model."""
+
+    def __init__(
+        self,
+        regressor: SequenceRegressor,
+        scaler: LeadTimeScaler,
+        *,
+        config: Phase3Config | None = None,
+        episode_gap: float = 600.0,
+    ) -> None:
+        if episode_gap <= 0:
+            raise PredictionError("episode_gap must be > 0")
+        self.regressor = regressor
+        self.scaler = scaler
+        self.config = config if config is not None else Phase3Config()
+        self.episode_gap = episode_gap
+
+    # ------------------------------------------------------------------
+    # offline (paper) scoring
+    # ------------------------------------------------------------------
+    def _episode_windows(
+        self, timestamps: np.ndarray, phrase_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Vector windows of an episode; returns (X, Y, pad_len)."""
+        vectors = self.scaler.encode_chain(timestamps, phrase_ids)
+        history = self.config.history_size
+        # Same left-padding convention as phase-2 training: one window per
+        # real event, so flags can be raised early in the episode.
+        padded = pad_vectors(vectors, len(vectors) + history)
+        pad_len = len(padded) - len(vectors)
+        x, y = sliding_windows_continuous(padded, history, 1)
+        return x, y[:, 0, :], pad_len
+
+    def score_episode(self, episode: Episode) -> EpisodeVerdict:
+        """Score one episode with the retrospective (paper) encoding.
+
+        The flag is raised at the first window whose MSE is at or below
+        the threshold, provided at least ``flag_position`` real events
+        precede the decision sample; the decision sample's dT is the
+        predicted lead time.
+
+        Episodes are scored once whole and then with up to
+        ``max_suffix_skip`` leading events removed — ambient anomalies
+        that happened shortly before a chain get swept into the same
+        episode and would otherwise misalign every window.  Within a
+        suffix, at least ``confirmation_windows`` windows must match for
+        the episode to be flagged; the decision point is the first match.
+        The earliest flag across all suffixes wins (longest lead time).
+        """
+        cfg = self.config
+        if len(episode) < cfg.min_chain_events:
+            return EpisodeVerdict(episode=episode, flagged=False, mse=float("inf"))
+        all_ts = episode.timestamps()
+        all_ids = episode.phrase_ids()
+        end_time = episode.end_time
+        best_mse = float("inf")
+        best_flag: EpisodeVerdict | None = None
+        max_skip = min(cfg.max_suffix_skip, len(episode) - cfg.min_chain_events)
+        for skip in range(0, max_skip + 1):
+            timestamps = all_ts[skip:]
+            x, y, pad_len = self._episode_windows(timestamps, all_ids[skip:])
+            mses = self.scaler.mse_paper_units(self.regressor.predict(x), y)
+            if len(mses):
+                best_mse = min(best_mse, float(np.min(mses)))
+            passing: list[tuple[int, float]] = []
+            for w, mse in enumerate(mses):
+                # Window w predicts padded sample (w + history); subtract
+                # the padding to find the suffix event index under decision.
+                real_idx = w + cfg.history_size - pad_len
+                if real_idx < cfg.flag_position or real_idx >= len(timestamps):
+                    continue
+                if mse <= cfg.mse_threshold:
+                    passing.append((skip + real_idx, float(mse)))
+            if len(passing) >= cfg.confirmation_windows:
+                decision_index, mse = passing[0]
+                decision_time = float(all_ts[decision_index])
+                candidate = EpisodeVerdict(
+                    episode=episode,
+                    flagged=True,
+                    mse=mse,
+                    decision_index=decision_index,
+                    decision_time=decision_time,
+                    lead_seconds=float(end_time - decision_time),
+                )
+                if (
+                    best_flag is None
+                    or candidate.decision_index < best_flag.decision_index
+                ):
+                    best_flag = candidate
+        if best_flag is not None:
+            return best_flag
+        return EpisodeVerdict(episode=episode, flagged=False, mse=best_mse)
+
+    def predict_sequences(
+        self, sequences: Sequence[EventSequence]
+    ) -> list[EpisodeVerdict]:
+        """Segment every node stream into episodes and score them all."""
+        verdicts: list[EpisodeVerdict] = []
+        for seq in sequences:
+            if seq.node is None:
+                continue
+            for episode in segment_episodes(
+                seq, gap=self.episode_gap, min_events=self.config.min_chain_events
+            ):
+                verdicts.append(self.score_episode(episode))
+        return verdicts
+
+    def predictions(
+        self, verdicts: Sequence[EpisodeVerdict]
+    ) -> list[FailurePrediction]:
+        """The raised flags among *verdicts*, as operator-facing predictions."""
+        return [
+            FailurePrediction(
+                node=v.node,
+                decision_time=v.decision_time,
+                lead_seconds=v.lead_seconds,
+                mse=v.mse,
+            )
+            for v in verdicts
+            if v.flagged
+        ]
+
+    # ------------------------------------------------------------------
+    # online scoring (live-monitor extension)
+    # ------------------------------------------------------------------
+    def score_partial(
+        self, events: Sequence[ParsedEvent]
+    ) -> tuple[bool, float, float]:
+        """Score a *growing* episode without knowing its end.
+
+        The dT encoding is anchored at the newest observed event.  Returns
+        ``(flagged, mse, lead_estimate_seconds)`` where the lead estimate
+        is the model's predicted next dT decoded to seconds — how far
+        ahead of the current event the model still expects chain activity
+        before the terminal.
+        """
+        cfg = self.config
+        if len(events) < max(2, cfg.min_chain_events):
+            return False, float("inf"), 0.0
+        timestamps = np.array([e.timestamp for e in events], dtype=np.float64)
+        phrase_ids = np.array([e.phrase_id for e in events], dtype=np.int64)
+        x, y, _ = self._episode_windows(timestamps, phrase_ids)
+        mses = self.scaler.mse_paper_units(self.regressor.predict(x), y)
+        best = float(np.min(mses))
+        pred = self.regressor.predict(x[-1:])  # next-sample forecast
+        lead = float(self.scaler.decode_lead_seconds(pred[0, 0]))
+        return best <= cfg.mse_threshold, best, lead

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the Desh reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause
+while still distinguishing subsystem-specific faults.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TopologyError",
+    "NodeIdError",
+    "LogGenerationError",
+    "ParseError",
+    "TemplateMinerError",
+    "VocabularyError",
+    "LabelingError",
+    "ShapeError",
+    "NotFittedError",
+    "TrainingError",
+    "ChainExtractionError",
+    "PredictionError",
+    "DatasetError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A cluster topology constraint was violated."""
+
+
+class NodeIdError(TopologyError):
+    """A Cray node identifier could not be parsed or is out of range."""
+
+
+class LogGenerationError(ReproError, RuntimeError):
+    """The synthetic log generator could not satisfy its constraints."""
+
+
+class ParseError(ReproError, ValueError):
+    """A raw log line could not be parsed."""
+
+
+class TemplateMinerError(ReproError, RuntimeError):
+    """The Drain-style template miner entered an inconsistent state."""
+
+
+class VocabularyError(ReproError, KeyError):
+    """A phrase or phrase id is unknown to the vocabulary."""
+
+
+class LabelingError(ReproError, ValueError):
+    """A phrase label is invalid or a label catalog is malformed."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument had an incompatible shape."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before fitting."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """Model training diverged or received unusable data."""
+
+
+class ChainExtractionError(ReproError, RuntimeError):
+    """Failure-chain extraction was given inconsistent event streams."""
+
+
+class PredictionError(ReproError, RuntimeError):
+    """Phase-3 inference failed."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset split or ground-truth join was invalid."""
+
+
+class SerializationError(ReproError, RuntimeError):
+    """A model or vocabulary could not be saved or loaded."""

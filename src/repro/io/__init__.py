@@ -1,0 +1,19 @@
+"""Log-file IO and dataset management.
+
+:mod:`~repro.io.logfile` reads/writes raw syslog files (plain or gzip)
+as streams of :class:`~repro.simlog.record.LogRecord`;
+:mod:`~repro.io.dataset` implements the paper's chronological 30/70
+train/test split and ground-truth JSON round-tripping.
+"""
+
+from .logfile import write_log, read_records, iter_lines
+from .dataset import chronological_split, save_ground_truth, load_ground_truth
+
+__all__ = [
+    "write_log",
+    "read_records",
+    "iter_lines",
+    "chronological_split",
+    "save_ground_truth",
+    "load_ground_truth",
+]

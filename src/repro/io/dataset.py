@@ -1,0 +1,130 @@
+"""Dataset splits and ground-truth persistence.
+
+The paper's protocol: "We split the dataset for all the systems for
+training and testing.  30% of the data is used for training and the
+remaining is used for testing" (Section 4) — a chronological split, so
+training never sees the future.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import DatasetError, SerializationError
+from ..simlog.faults import FailureClass
+from ..simlog.generator import (
+    FailureEvent,
+    GroundTruth,
+    MaintenanceEvent,
+    NearMissEvent,
+)
+from ..simlog.record import LogRecord
+from ..topology.cray import CrayNodeId
+
+__all__ = ["chronological_split", "save_ground_truth", "load_ground_truth"]
+
+
+def chronological_split(
+    records: Sequence[LogRecord], train_fraction: float
+) -> tuple[list[LogRecord], list[LogRecord]]:
+    """Split records at the *train_fraction* quantile of the time span.
+
+    The cut is on wall-clock time (not record count) so both halves keep
+    natural event densities.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not records:
+        raise DatasetError("cannot split an empty record list")
+    ordered = sorted(records, key=lambda r: r.timestamp)
+    t0 = ordered[0].timestamp
+    t1 = ordered[-1].timestamp
+    cut = t0 + (t1 - t0) * train_fraction
+    train = [r for r in ordered if r.timestamp < cut]
+    test = [r for r in ordered if r.timestamp >= cut]
+    return train, test
+
+
+# ----------------------------------------------------------------------
+# ground-truth JSON codec
+# ----------------------------------------------------------------------
+def _node_str(node: CrayNodeId | None) -> str | None:
+    return str(node) if node is not None else None
+
+
+def _node_parse(text: str | None) -> CrayNodeId | None:
+    return CrayNodeId.parse(text) if text is not None else None
+
+
+def save_ground_truth(path: str | Path, truth: GroundTruth) -> None:
+    """Serialize a :class:`GroundTruth` to JSON."""
+    payload = {
+        "failures": [
+            {
+                "node": _node_str(f.node),
+                "failure_class": f.failure_class.name,
+                "chain_name": f.chain_name,
+                "first_anomaly_time": f.first_anomaly_time,
+                "terminal_time": f.terminal_time,
+            }
+            for f in truth.failures
+        ],
+        "near_misses": [
+            {
+                "node": _node_str(m.node),
+                "failure_class": m.failure_class.name,
+                "chain_name": m.chain_name,
+                "start_time": m.start_time,
+                "end_time": m.end_time,
+            }
+            for m in truth.near_misses
+        ],
+        "maintenance": [
+            {
+                "start_time": m.start_time,
+                "nodes": [_node_str(n) for n in m.nodes],
+            }
+            for m in truth.maintenance
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_ground_truth(path: str | Path) -> GroundTruth:
+    """Inverse of :func:`save_ground_truth`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+        failures = [
+            FailureEvent(
+                node=_node_parse(f["node"]),
+                failure_class=FailureClass[f["failure_class"]],
+                chain_name=f["chain_name"],
+                first_anomaly_time=float(f["first_anomaly_time"]),
+                terminal_time=float(f["terminal_time"]),
+            )
+            for f in payload["failures"]
+        ]
+        near_misses = [
+            NearMissEvent(
+                node=_node_parse(m["node"]),
+                failure_class=FailureClass[m["failure_class"]],
+                chain_name=m["chain_name"],
+                start_time=float(m["start_time"]),
+                end_time=float(m["end_time"]),
+            )
+            for m in payload["near_misses"]
+        ]
+        maintenance = [
+            MaintenanceEvent(
+                start_time=float(m["start_time"]),
+                nodes=tuple(_node_parse(n) for n in m["nodes"]),
+            )
+            for m in payload["maintenance"]
+        ]
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"cannot load ground truth from {path}") from exc
+    return GroundTruth(
+        failures=failures, near_misses=near_misses, maintenance=maintenance
+    )

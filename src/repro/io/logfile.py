@@ -1,0 +1,63 @@
+"""Raw log-file reading and writing (plain text or gzip).
+
+Log files hold one syslog line per record in the
+:func:`repro.simlog.record.render_line` format.  Reading is streaming —
+records are yielded one at a time so multi-GB files never materialize in
+memory (the paper's M1 log is 373GB).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from ..errors import ParseError
+from ..simlog.record import LogRecord, parse_line, render_line
+
+__all__ = ["write_log", "read_records", "iter_lines"]
+
+
+def _opener(path: Path) -> Callable:
+    return gzip.open if path.suffix == ".gz" else open
+
+
+def write_log(path: str | Path, records: Iterable[LogRecord]) -> int:
+    """Write records as raw lines; returns the number written.
+
+    A ``.gz`` suffix selects gzip compression.
+    """
+    path = Path(path)
+    count = 0
+    with _opener(path)(path, "wt") as fh:
+        for record in records:
+            fh.write(render_line(record))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def iter_lines(path: str | Path) -> Iterator[str]:
+    """Stream the raw lines of a (possibly gzipped) log file."""
+    path = Path(path)
+    with _opener(path)(path, "rt") as fh:
+        for line in fh:
+            line = line.rstrip("\n")
+            if line:
+                yield line
+
+
+def read_records(
+    path: str | Path, *, strict: bool = True
+) -> Iterator[LogRecord]:
+    """Stream parsed records from a log file.
+
+    With ``strict=False`` unparseable lines are skipped instead of
+    raising — real log files contain truncated or corrupt lines.
+    """
+    for lineno, line in enumerate(iter_lines(path), start=1):
+        try:
+            yield parse_line(line)
+        except ParseError:
+            if strict:
+                raise ParseError(f"{path}:{lineno}: unparseable line: {line!r}")

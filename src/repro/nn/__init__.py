@@ -1,0 +1,56 @@
+"""From-scratch NumPy neural-network substrate.
+
+The paper's prototype uses Keras with a TensorFlow backend (Section 4);
+this offline environment has neither, so this subpackage implements the
+required pieces directly on NumPy with full backpropagation:
+
+* :mod:`~repro.nn.lstm` — LSTM cell and stacked LSTM with BPTT,
+* :mod:`~repro.nn.layers` — dense and embedding layers,
+* :mod:`~repro.nn.losses` — categorical cross-entropy and MSE,
+* :mod:`~repro.nn.optimizers` — SGD (momentum), RMSprop, Adam,
+* :mod:`~repro.nn.embeddings` — skip-gram word2vec with negative sampling,
+* :mod:`~repro.nn.model` — the sequence classifier / regressor models
+  used by Desh phases 1 and 2-3 respectively.
+
+Everything is vectorized over the batch dimension (one fused gate matmul
+per timestep), following the hpc-parallel guide's "vectorize the inner
+loop" idiom.
+"""
+
+from .activations import sigmoid, tanh, softmax, relu
+from .initializers import glorot_uniform, orthogonal
+from .layers import Dense, Embedding
+from .lstm import LSTMCell, StackedLSTM
+from .losses import CategoricalCrossEntropy, MeanSquaredError
+from .optimizers import SGD, RMSprop, Adam, clip_gradients
+from .embeddings import SkipGramEmbedder
+from .model import SequenceClassifier, SequenceRegressor
+from .data import sliding_windows, multi_step_targets, batch_iterator
+from .metrics import perplexity, topk_accuracy
+
+__all__ = [
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "relu",
+    "glorot_uniform",
+    "orthogonal",
+    "Dense",
+    "Embedding",
+    "LSTMCell",
+    "StackedLSTM",
+    "CategoricalCrossEntropy",
+    "MeanSquaredError",
+    "SGD",
+    "RMSprop",
+    "Adam",
+    "clip_gradients",
+    "SkipGramEmbedder",
+    "SequenceClassifier",
+    "SequenceRegressor",
+    "sliding_windows",
+    "multi_step_targets",
+    "batch_iterator",
+    "perplexity",
+    "topk_accuracy",
+]

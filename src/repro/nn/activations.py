@@ -1,0 +1,72 @@
+"""Numerically stable activation functions and their derivatives.
+
+All functions are elementwise and fully vectorized; derivative helpers
+take the *activated* value (not the pre-activation) so forward caches
+can be reused during backprop without recomputation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "sigmoid_grad",
+    "tanh",
+    "tanh_grad",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, stable for large |x|.
+
+    Uses the two-branch formulation so ``exp`` never overflows.
+    """
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(y: np.ndarray) -> np.ndarray:
+    """d sigmoid / dx expressed in the output ``y = sigmoid(x)``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (numpy's is already stable)."""
+    return np.tanh(x)
+
+
+def tanh_grad(y: np.ndarray) -> np.ndarray:
+    """d tanh / dx expressed in the output ``y = tanh(x)``."""
+    return 1.0 - y * y
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(y: np.ndarray) -> np.ndarray:
+    """d relu / dx expressed in the output ``y = relu(x)``."""
+    return (y > 0).astype(y.dtype)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along *axis*, shifted by the max for stability."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Log-softmax along *axis* (log-sum-exp trick)."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

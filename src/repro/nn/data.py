@@ -1,0 +1,129 @@
+"""Windowing and batching utilities for sequence training.
+
+Desh trains on sliding windows: a *history* of samples predicts the next
+*steps* samples (history size 8 / 3-step in phase 1, history 5 / 1-step
+in phases 2-3 — Table 5).  Windows never cross node-sequence boundaries:
+the per-node sequences are windowed independently and the window sets
+concatenated, which matches the paper's "logs from each node are
+concatenated and fed to the same LSTM" without fabricating transitions
+between unrelated nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "sliding_windows",
+    "sliding_windows_continuous",
+    "multi_step_targets",
+    "windows_from_sequences",
+    "batch_iterator",
+]
+
+
+def sliding_windows(
+    sequence: np.ndarray, history: int, steps: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windows over a 1-D integer sequence.
+
+    Returns ``(X, Y)`` with ``X`` of shape ``(N, history)`` and ``Y`` of
+    shape ``(N, steps)``; ``X[i]`` is ``sequence[i : i+history]`` and
+    ``Y[i]`` the following *steps* entries.  ``N`` may be zero for short
+    sequences.
+    """
+    sequence = np.asarray(sequence)
+    if sequence.ndim != 1:
+        raise ShapeError(f"sequence must be 1-D, got shape {sequence.shape}")
+    if history < 1 or steps < 1:
+        raise ShapeError(f"history and steps must be >= 1, got {history}, {steps}")
+    n = len(sequence) - history - steps + 1
+    if n <= 0:
+        return (
+            np.empty((0, history), dtype=sequence.dtype),
+            np.empty((0, steps), dtype=sequence.dtype),
+        )
+    idx = np.arange(n)[:, None]
+    x = sequence[idx + np.arange(history)[None, :]]
+    y = sequence[idx + history + np.arange(steps)[None, :]]
+    return x, y
+
+
+def sliding_windows_continuous(
+    sequence: np.ndarray, history: int, steps: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windows over a 2-D ``(T, D)`` continuous sequence.
+
+    Returns ``(X, Y)`` with ``X`` of shape ``(N, history, D)`` and ``Y``
+    of shape ``(N, steps, D)``.
+    """
+    sequence = np.asarray(sequence, dtype=np.float64)
+    if sequence.ndim != 2:
+        raise ShapeError(f"sequence must be 2-D (T, D), got shape {sequence.shape}")
+    if history < 1 or steps < 1:
+        raise ShapeError(f"history and steps must be >= 1, got {history}, {steps}")
+    t, d = sequence.shape
+    n = t - history - steps + 1
+    if n <= 0:
+        return np.empty((0, history, d)), np.empty((0, steps, d))
+    idx = np.arange(n)[:, None]
+    x = sequence[idx + np.arange(history)[None, :]]
+    y = sequence[idx + history + np.arange(steps)[None, :]]
+    return x, y
+
+
+def multi_step_targets(y: np.ndarray, steps: int) -> list[np.ndarray]:
+    """Split a ``(N, steps)`` target block into per-step 1-D target arrays."""
+    y = np.asarray(y)
+    if y.ndim != 2 or y.shape[1] != steps:
+        raise ShapeError(f"targets must be (N, {steps}), got {y.shape}")
+    return [y[:, k] for k in range(steps)]
+
+
+def windows_from_sequences(
+    sequences: Sequence[np.ndarray], history: int, steps: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Window each per-node sequence independently and stack the results.
+
+    Accepts 1-D (phrase ids) or 2-D ``(T, D)`` sequences; all sequences
+    must share dimensionality.
+    """
+    if not sequences:
+        raise ShapeError("need at least one sequence")
+    xs, ys = [], []
+    first = np.asarray(sequences[0])
+    windower = sliding_windows if first.ndim == 1 else sliding_windows_continuous
+    for seq in sequences:
+        seq = np.asarray(seq)
+        if seq.ndim != first.ndim:
+            raise ShapeError("mixed 1-D and 2-D sequences")
+        x, y = windower(seq, history, steps)
+        if len(x):
+            xs.append(x)
+            ys.append(y)
+    if not xs:
+        shape_x = (0, history) if first.ndim == 1 else (0, history, first.shape[-1])
+        shape_y = (0, steps) if first.ndim == 1 else (0, steps, first.shape[-1])
+        return np.empty(shape_x, dtype=first.dtype), np.empty(shape_y, dtype=first.dtype)
+    return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+
+def batch_iterator(
+    n: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield index batches covering ``range(n)``, shuffled when *rng* given."""
+    if n < 0:
+        raise ShapeError(f"n must be >= 0, got {n}")
+    if batch_size < 1:
+        raise ShapeError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]

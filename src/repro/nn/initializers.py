@@ -1,0 +1,46 @@
+"""Weight initializers.
+
+Glorot/Xavier uniform for input projections, orthogonal for recurrent
+matrices (the standard recipe that keeps LSTM gradients well-conditioned
+over long unrolls), zeros plus a forget-gate bias of 1 for LSTM biases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["glorot_uniform", "orthogonal", "zeros"]
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform matrix of shape ``(fan_in, fan_out)``."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ShapeError(f"fan dimensions must be positive, got {fan_in}x{fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal matrix of shape ``(rows, cols)`` via QR decomposition.
+
+    For non-square shapes the result has orthonormal columns (rows >= cols)
+    or orthonormal rows (rows < cols).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ShapeError(f"dimensions must be positive, got {rows}x{cols}")
+    a = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    # Sign correction makes the distribution uniform over orthogonal mats.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return np.ascontiguousarray(q[:rows, :cols])
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero array of the given shape (float64)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,91 @@
+"""Loss functions with analytic gradients.
+
+Phase 1 trains with categorical cross-entropy ("log analysis is a
+multi-class problem"), phases 2 and 3 with mean squared error (Table 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import log_softmax, softmax
+
+__all__ = ["CategoricalCrossEntropy", "MeanSquaredError"]
+
+
+class CategoricalCrossEntropy:
+    """Softmax + cross-entropy over integer class targets.
+
+    Operating on logits keeps the gradient the numerically exact
+    ``softmax(logits) - onehot(targets)`` without materializing one-hots.
+    """
+
+    def loss(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean negative log-likelihood.
+
+        Parameters
+        ----------
+        logits:
+            ``(N, C)`` unnormalized scores.
+        targets:
+            ``(N,)`` integer class ids in ``[0, C)``.
+        """
+        logits, targets = self._check(logits, targets)
+        lp = log_softmax(logits, axis=-1)
+        return float(-lp[np.arange(len(targets)), targets].mean())
+
+    def grad(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of :meth:`loss` w.r.t. the logits, shape ``(N, C)``."""
+        logits, targets = self._check(logits, targets)
+        p = softmax(logits, axis=-1)
+        p[np.arange(len(targets)), targets] -= 1.0
+        p /= len(targets)
+        return p
+
+    @staticmethod
+    def _check(
+        logits: np.ndarray, targets: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D, got {logits.shape}")
+        if targets.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"targets must be ({logits.shape[0]},), got {targets.shape}"
+            )
+        if not np.issubdtype(targets.dtype, np.integer):
+            raise ShapeError(f"targets must be integers, got {targets.dtype}")
+        if targets.size and (targets.min() < 0 or targets.max() >= logits.shape[1]):
+            raise ShapeError("target class out of range")
+        return logits, targets
+
+
+class MeanSquaredError:
+    """Mean squared error over arbitrary-shape predictions."""
+
+    def loss(self, pred: np.ndarray, target: np.ndarray) -> float:
+        """Mean squared error between prediction and target."""
+        pred, target = self._check(pred, target)
+        diff = pred - target
+        return float(np.mean(diff * diff))
+
+    def grad(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Gradient of :meth:`loss` w.r.t. *pred* (same shape)."""
+        pred, target = self._check(pred, target)
+        return 2.0 * (pred - target) / pred.size
+
+    @staticmethod
+    def _check(
+        pred: np.ndarray, target: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise ShapeError(
+                f"prediction shape {pred.shape} != target shape {target.shape}"
+            )
+        if pred.size == 0:
+            raise ShapeError("cannot compute MSE of empty arrays")
+        return pred, target

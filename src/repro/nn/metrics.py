@@ -1,0 +1,63 @@
+"""Sequence-model quality metrics: perplexity and top-k accuracy.
+
+Perplexity is the standard language-model diagnostic for next-phrase
+prediction quality (lower is better; equals the vocabulary size for a
+uniform predictor).  Top-k accuracy is the quantity DeepLog's top-g
+anomaly rule rests on: an entry is "normal" when the observed key is
+within the model's k most likely continuations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import log_softmax
+
+__all__ = ["perplexity", "topk_accuracy"]
+
+
+def perplexity(logits: np.ndarray, targets: np.ndarray) -> float:
+    """exp(mean negative log-likelihood) of *targets* under *logits*.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` unnormalized scores.
+    targets:
+        ``(N,)`` integer class ids.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"need logits (N, C) and targets (N,), got {logits.shape}, "
+            f"{targets.shape}"
+        )
+    if not np.issubdtype(targets.dtype, np.integer):
+        raise ShapeError(f"targets must be integers, got {targets.dtype}")
+    if targets.size == 0:
+        raise ShapeError("cannot compute perplexity of an empty batch")
+    if targets.min() < 0 or targets.max() >= logits.shape[1]:
+        raise ShapeError("target class out of range")
+    lp = log_softmax(logits, axis=-1)
+    nll = -lp[np.arange(len(targets)), targets].mean()
+    return float(np.exp(nll))
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Fraction of targets within the top-*k* scored classes."""
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"need logits (N, C) and targets (N,), got {logits.shape}, "
+            f"{targets.shape}"
+        )
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    if targets.size == 0:
+        raise ShapeError("cannot compute accuracy of an empty batch")
+    top = np.argpartition(-logits, k - 1, axis=-1)[:, :k]
+    hits = (top == targets[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,150 @@
+"""Optimizers: SGD with momentum, RMSprop, Adam, plus gradient clipping.
+
+Phase 1 uses plain stochastic gradient descent, phases 2-3 use RMSprop
+(Table 5).  Adam is provided for the extension experiments.  Optimizers
+mutate the parameter arrays *in place* (the arrays returned by each
+layer's ``params()`` are live views), following the in-place-update
+idiom from the hpc-parallel guide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["SGD", "RMSprop", "Adam", "clip_gradients"]
+
+
+def clip_gradients(grads: Mapping[str, np.ndarray], max_norm: float) -> float:
+    """Scale all gradients in place so their global L2 norm <= *max_norm*.
+
+    Returns the pre-clipping global norm.  Clipping by global norm (not
+    per-array) preserves gradient direction, the standard recipe against
+    exploding LSTM gradients.
+    """
+    if max_norm <= 0:
+        raise ConfigError(f"max_norm must be > 0, got {max_norm}")
+    total = 0.0
+    for g in grads.values():
+        total += float(np.sum(g * g))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for g in grads.values():
+            g *= scale
+    return norm
+
+
+class _OptimizerBase:
+    """Shared parameter validation and state management."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be > 0, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self._state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def _slot(self, key: str, like: np.ndarray, *names: str) -> Dict[str, np.ndarray]:
+        slot = self._state.get(key)
+        if slot is None:
+            slot = {n: np.zeros_like(like) for n in names}
+            self._state[key] = slot
+        return slot
+
+    def step(
+        self, params: Mapping[str, np.ndarray], grads: Mapping[str, np.ndarray]
+    ) -> None:
+        if params.keys() != grads.keys():
+            raise ConfigError(
+                f"params/grads key mismatch: {sorted(params)} vs {sorted(grads)}"
+            )
+        for key in params:
+            if params[key].shape != grads[key].shape:
+                raise ConfigError(
+                    f"shape mismatch for {key}: "
+                    f"{params[key].shape} vs {grads[key].shape}"
+                )
+            self._update(key, params[key], grads[key])
+
+    def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(_OptimizerBase):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+
+    def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            p -= self.learning_rate * g
+            return
+        slot = self._slot(key, p, "v")
+        v = slot["v"]
+        v *= self.momentum
+        v -= self.learning_rate * g
+        p += v
+
+
+class RMSprop(_OptimizerBase):
+    """RMSprop: per-parameter learning rates from an EMA of squared grads."""
+
+    def __init__(
+        self, learning_rate: float = 0.001, rho: float = 0.9, eps: float = 1e-8
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ConfigError(f"rho must be in (0, 1), got {rho}")
+        if eps <= 0:
+            raise ConfigError(f"eps must be > 0, got {eps}")
+        self.rho = rho
+        self.eps = eps
+
+    def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        slot = self._slot(key, p, "s")
+        s = slot["s"]
+        s *= self.rho
+        s += (1.0 - self.rho) * g * g
+        p -= self.learning_rate * g / (np.sqrt(s) + self.eps)
+
+
+class Adam(_OptimizerBase):
+    """Adam with bias correction (extension experiments only)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        for name, value in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 < value < 1.0:
+                raise ConfigError(f"{name} must be in (0, 1), got {value}")
+        if eps <= 0:
+            raise ConfigError(f"eps must be > 0, got {eps}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._t: Dict[str, int] = {}
+
+    def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        slot = self._slot(key, p, "m", "v")
+        t = self._t.get(key, 0) + 1
+        self._t[key] = t
+        m, v = slot["m"], slot["v"]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g * g
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

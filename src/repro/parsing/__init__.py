@@ -1,0 +1,26 @@
+"""Log-parsing substrate: tokenize, mine templates, encode, label.
+
+This mirrors the paper's phase-1 preprocessing (Section 3.1): each raw
+message is segregated into *static* and *dynamic* content (Table 2); the
+static templates are mined, encoded to unique phrase ids, and labeled
+Safe / Unknown / Error (Table 3).
+"""
+
+from .tokenizer import mask_message, tokenize, MASK
+from .miner import TemplateMiner, MinedTemplate
+from .encoder import PhraseVocabulary
+from .labeling import PhraseLabeler, default_labeler
+from .pipeline import LogParser, ParseResult
+
+__all__ = [
+    "mask_message",
+    "tokenize",
+    "MASK",
+    "TemplateMiner",
+    "MinedTemplate",
+    "PhraseVocabulary",
+    "PhraseLabeler",
+    "default_labeler",
+    "LogParser",
+    "ParseResult",
+]

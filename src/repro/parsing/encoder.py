@@ -1,0 +1,133 @@
+"""Phrase vocabulary: static template text <-> integer phrase id.
+
+"Once the constant messages are extracted they are encoded to a uniquely
+identifiable number" (Section 3.1).  The vocabulary also tracks
+occurrence counts (used by the skip-gram negative-sampling table) and
+supports JSON round-tripping for model persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator
+
+import numpy as np
+
+from ..errors import SerializationError, VocabularyError
+
+__all__ = ["PhraseVocabulary"]
+
+
+class PhraseVocabulary:
+    """Bidirectional mapping between phrase text and dense integer ids."""
+
+    def __init__(self) -> None:
+        self._text_to_id: Dict[str, int] = {}
+        self._id_to_text: list[str] = []
+        self._counts: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, text: str, count: int = 1) -> int:
+        """Intern *text*, bumping its count; returns the phrase id."""
+        if not text:
+            raise VocabularyError("cannot intern an empty phrase")
+        if count < 0:
+            raise VocabularyError(f"count must be >= 0, got {count}")
+        pid = self._text_to_id.get(text)
+        if pid is None:
+            pid = len(self._id_to_text)
+            self._text_to_id[text] = pid
+            self._id_to_text.append(text)
+            self._counts.append(0)
+        self._counts[pid] += count
+        return pid
+
+    def update(self, texts: Iterable[str]) -> None:
+        """Intern every text in *texts*, bumping counts."""
+        for t in texts:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_text)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._text_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_text)
+
+    def id_of(self, text: str) -> int:
+        """The id of *text*; raises for unknown phrases."""
+        try:
+            return self._text_to_id[text]
+        except KeyError:
+            raise VocabularyError(f"unknown phrase: {text!r}") from None
+
+    def text_of(self, phrase_id: int) -> str:
+        """The phrase text for *phrase_id*; raises for unknown ids."""
+        if not 0 <= phrase_id < len(self._id_to_text):
+            raise VocabularyError(f"unknown phrase id: {phrase_id}")
+        return self._id_to_text[phrase_id]
+
+    def get_id(self, text: str, default: int = -1) -> int:
+        """Like :meth:`id_of` but returns *default* for unknown phrases."""
+        return self._text_to_id.get(text, default)
+
+    def count_of(self, phrase_id: int) -> int:
+        """Occurrence count recorded for *phrase_id*."""
+        if not 0 <= phrase_id < len(self._counts):
+            raise VocabularyError(f"unknown phrase id: {phrase_id}")
+        return self._counts[phrase_id]
+
+    def counts(self) -> np.ndarray:
+        """Occurrence counts as an ``int64`` array indexed by phrase id."""
+        return np.asarray(self._counts, dtype=np.int64)
+
+    def frequencies(self) -> np.ndarray:
+        """Normalized occurrence frequencies (sums to 1)."""
+        c = self.counts().astype(np.float64)
+        total = c.sum()
+        if total == 0:
+            raise VocabularyError("vocabulary has no counted occurrences")
+        return c / total
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (inverse of :meth:`from_dict`)."""
+        return {"phrases": self._id_to_text, "counts": self._counts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhraseVocabulary":
+        """Rebuild a vocabulary from a :meth:`to_dict` payload."""
+        phrases = data.get("phrases")
+        counts = data.get("counts")
+        if not isinstance(phrases, list) or not isinstance(counts, list):
+            raise SerializationError("malformed vocabulary payload")
+        if len(phrases) != len(counts):
+            raise SerializationError(
+                f"phrases/counts length mismatch: {len(phrases)} vs {len(counts)}"
+            )
+        vocab = cls()
+        for text, count in zip(phrases, counts):
+            vocab.add(text, int(count))
+        return vocab
+
+    def save(self, path: str | Path) -> None:
+        """Write the vocabulary to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PhraseVocabulary":
+        """Read a vocabulary from a JSON file (inverse of :meth:`save`)."""
+        try:
+            return cls.from_dict(json.loads(Path(path).read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"cannot load vocabulary from {path}") from exc

@@ -1,0 +1,134 @@
+"""Phrase labeling: Safe / Unknown / Error categorization (Table 3).
+
+The paper's labels come from "consultation with the system
+administrators"; the catalog of indicative phrases is published in its
+Tables 3, 8 and 9, and this module encodes those rules directly.  A
+phrase that matches no rule defaults to *Unknown* — exactly the paper's
+semantics ("may or may not be indicative of some anomaly").
+
+Terminal phrases — the messages that anchor failure chains because they
+mark a node going down (``cb_node_unavailable``, shutdown events) — are
+flagged separately.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import LabelingError
+from ..events import Label
+
+__all__ = ["PhraseLabeler", "default_labeler", "SAFE_PATTERNS", "ERROR_PATTERNS", "TERMINAL_PATTERNS"]
+
+
+#: Phrases that are "definitely not related to any system anomaly".
+SAFE_PATTERNS: tuple[str, ...] = (
+    r"Mounting NID",
+    r"apic_timer_irqs",
+    r"Setting flag",
+    r"Wait4Boot",
+    r"Sending ec node info",
+    r"Running sysctl",
+    r"All threads awake",
+    r"synchronized to",
+    r"nss_ldap reconnected",
+    r"session opened for user",
+    r"Accepted publickey",
+    r"Lustre: .* connected to",
+    r"DVS: mounted",
+    r"placeApp message",
+    r"heartbeat ok",
+    r"thermal reading nominal",
+    r"all tests passed",
+    r"audit: backlog",
+    r"link up, port active",
+    r"scrub rate set",
+    r"login on tty",
+    r"credential decoded",
+)
+
+#: Phrases "definitely indicative of some anomaly" — terminal messages or
+#: major hardware/software malfunction.
+ERROR_PATTERNS: tuple[str, ...] = (
+    r"cb_node_unavailable",
+    r"node shutdown in progress",
+    r"Node .* is down",
+    r"Debug NMI detected",
+    r"Stop NMI detected",
+    r"Kernel panic",
+    r"Call Trace",
+    r"^Stack:",
+    r"Oops:",
+    r"heartbeat fault",
+    r"ASIC link failed",
+    r"Uncorrected MCE",
+    r"self-detected stall",
+    r"LBUG",
+    r"CANCELLED DUE TO NODE FAILURE",
+    r"System: halted",
+)
+
+#: Error phrases that additionally mark the node as *down* (chain anchors).
+TERMINAL_PATTERNS: tuple[str, ...] = (
+    r"cb_node_unavailable",
+    r"node shutdown in progress",
+)
+
+
+@dataclass(frozen=True)
+class PhraseLabeler:
+    """Rule-based Safe/Unknown/Error classifier over static phrases.
+
+    Error rules take precedence over Safe rules (a phrase mentioning both
+    a panic and benign words is an anomaly indicator); anything unmatched
+    is Unknown.
+    """
+
+    safe_patterns: Sequence[str] = SAFE_PATTERNS
+    error_patterns: Sequence[str] = ERROR_PATTERNS
+    terminal_patterns: Sequence[str] = TERMINAL_PATTERNS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_safe_re", self._compile(self.safe_patterns, "safe")
+        )
+        object.__setattr__(
+            self, "_error_re", self._compile(self.error_patterns, "error")
+        )
+        object.__setattr__(
+            self, "_terminal_re", self._compile(self.terminal_patterns, "terminal")
+        )
+
+    @staticmethod
+    def _compile(patterns: Sequence[str], kind: str) -> re.Pattern[str]:
+        if not patterns:
+            raise LabelingError(f"{kind} pattern list must not be empty")
+        try:
+            return re.compile("|".join(f"(?:{p})" for p in patterns))
+        except re.error as exc:
+            raise LabelingError(f"invalid {kind} pattern: {exc}") from exc
+
+    def label(self, phrase: str) -> str:
+        """Classify one static phrase into Safe / Unknown / Error."""
+        if not phrase:
+            raise LabelingError("cannot label an empty phrase")
+        if self._error_re.search(phrase):  # type: ignore[attr-defined]
+            return Label.ERROR
+        if self._safe_re.search(phrase):  # type: ignore[attr-defined]
+            return Label.SAFE
+        return Label.UNKNOWN
+
+    def is_terminal(self, phrase: str) -> bool:
+        """True when *phrase* marks a node going down."""
+        return bool(self._terminal_re.search(phrase))  # type: ignore[attr-defined]
+
+    def label_many(self, phrases: Sequence[str]) -> list[str]:
+        """Classify a batch of phrases."""
+        return [self.label(p) for p in phrases]
+
+
+def default_labeler() -> PhraseLabeler:
+    """The standard labeler built from the paper's published phrase lists."""
+    return PhraseLabeler()

@@ -1,0 +1,73 @@
+"""Static/dynamic content separation (Table 2 of the paper).
+
+Each log message is "segregated into static and dynamic contents to
+identify the constant message subphrase separating it from the variable
+component (e.g., error identifier, IP address)"; the dynamic component is
+discarded.  :func:`mask_message` replaces every dynamic span with the
+``<*>`` mask so that all occurrences of one message family collapse to a
+single canonical static phrase.
+
+The masking rules are applied in priority order — composite dynamic
+tokens (IP addresses, device ids, Lustre target names) are masked before
+the generic number rules so their constant punctuation does not leak
+into the static phrase.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["MASK", "mask_message", "tokenize", "DYNAMIC_PATTERNS"]
+
+MASK = "<*>"
+
+#: Ordered (name, compiled regex) masking rules.  Order matters: composite
+#: tokens first, generic decimal/hex numbers last.
+DYNAMIC_PATTERNS: tuple[tuple[str, re.Pattern[str]], ...] = (
+    ("hex_prefixed", re.compile(r"0x[0-9a-fA-F]+")),
+    ("timestamp_tag", re.compile(r"\b\d{8}t\d{6}\b")),
+    ("ipv4", re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b")),
+    ("lustre_target", re.compile(r"\bsnx\d+-OST\d+\b")),
+    ("nid", re.compile(r"\bnid\d+\b")),
+    ("pci_devid", re.compile(r"\b[0-9a-f]{2}:[0-9a-f]{2}\.\d\b")),
+    ("path", re.compile(r"/[\w.\-][\w./\-]*")),
+    ("decimal", re.compile(r"\b\d+\b")),
+    # Bare hex words (>= 6 chars, must contain a digit) such as kernel
+    # page addresses; pure-decimal tokens were consumed by the rule above.
+    ("hex_bare", re.compile(r"\b(?=[a-f]*\d)[0-9a-f]{6,}\b")),
+)
+
+_WS_RE = re.compile(r"\s+")
+
+
+def mask_message(message: str) -> str:
+    """Return the canonical static form of *message*.
+
+    Every dynamic span (hex ids, decimals, IPs, paths, device ids, ...)
+    becomes :data:`MASK`; runs of whitespace are normalized to single
+    spaces.  The result is deterministic: two messages produced from the
+    same template always mask to the same string.
+
+    >>> mask_message("hwerr[2816]: Correctable AER_BAD_TLP Error 0x5f00")
+    'hwerr[<*>]: Correctable AER_BAD_TLP Error <*>'
+    """
+    out = message
+    for _, pattern in DYNAMIC_PATTERNS:
+        out = pattern.sub(MASK, out)
+    return _WS_RE.sub(" ", out).strip()
+
+
+def tokenize(message: str) -> list[str]:
+    """Whitespace-tokenize the masked form of *message*.
+
+    The template miner operates on these token lists; dynamic tokens are
+    already collapsed to :data:`MASK` so token positions align across
+    occurrences of the same message family.
+    """
+    return mask_message(message).split(" ")
+
+
+def mask_many(messages: Iterable[str]) -> list[str]:
+    """Vectorized convenience wrapper: mask every message in a batch."""
+    return [mask_message(m) for m in messages]

@@ -1,0 +1,83 @@
+"""Deterministic random-number stream management.
+
+Each subsystem (log generation, embedding training, LSTM initialization,
+...) receives its own independent :class:`numpy.random.Generator` derived
+from a single root seed via :class:`numpy.random.SeedSequence` spawning.
+This makes every experiment reproducible bit-for-bit while keeping the
+streams statistically independent, and lets a subsystem be re-run in
+isolation without perturbing the draws of the others.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["RngFactory", "generator", "derive_seed"]
+
+
+def generator(seed: int | None = None) -> np.random.Generator:
+    """Return a fresh :class:`numpy.random.Generator` seeded with *seed*."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *path: str) -> int:
+    """Derive a stable 63-bit child seed from *root_seed* and a label path.
+
+    The same ``(root_seed, path)`` always yields the same child seed, and
+    distinct paths yield independent seeds with overwhelming probability.
+    """
+    # Hash the path into entropy words; SeedSequence mixes them soundly.
+    words = [root_seed & 0xFFFFFFFF, (root_seed >> 32) & 0xFFFFFFFF]
+    for label in path:
+        acc = 2166136261
+        for ch in label.encode("utf-8"):
+            acc = ((acc ^ ch) * 16777619) & 0xFFFFFFFF
+        words.append(acc)
+    ss = np.random.SeedSequence(words)
+    return int(ss.generate_state(1, dtype=np.uint64)[0] & 0x7FFFFFFFFFFFFFFF)
+
+
+class RngFactory:
+    """Spawns named, independent random generators from one root seed.
+
+    Examples
+    --------
+    >>> f = RngFactory(1234)
+    >>> g1 = f.get("simlog")
+    >>> g2 = f.get("lstm-init")
+    >>> f2 = RngFactory(1234)
+    >>> all(f2.get("simlog").integers(0, 1 << 30, 8) == g1.integers(0, 1 << 30, 8))
+    False
+
+    (Each ``get`` call returns a *fresh* generator positioned at the start
+    of its stream, so the comparison above re-draws from the beginning.)
+    """
+
+    def __init__(self, root_seed: int = 0):
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, *path: str) -> int:
+        """Return the deterministic child seed for a label path."""
+        return derive_seed(self.root_seed, *path)
+
+    def get(self, *path: str) -> np.random.Generator:
+        """Return a fresh generator for the given label path."""
+        return np.random.default_rng(self.seed_for(*path))
+
+    def stream(self, *path: str) -> Iterator[np.random.Generator]:
+        """Yield an unbounded sequence of independent generators.
+
+        Useful when a subsystem needs one generator per work item (e.g. one
+        per simulated node) without coordinating indices by hand.
+        """
+        i = 0
+        while True:
+            yield self.get(*path, f"#{i}")
+            i += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RngFactory(root_seed={self.root_seed})"

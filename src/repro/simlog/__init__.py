@@ -1,0 +1,55 @@
+"""Synthetic Cray-style HPC system-log substrate.
+
+The paper evaluates Desh on proprietary production logs from four Cray
+machines (373GB / 150GB / 39GB / 22GB — Table 1).  Those logs are not
+publicly available, so this subpackage generates statistically faithful
+replacements: unstructured syslog lines with Cray node ids, a large
+template catalog (drawn from the message snippets the paper itself
+publishes in Tables 2, 3, 8 and 9), a slurm-like job workload, injected
+failure chains for the paper's six failure classes (Table 7) with
+class-specific lead-time distributions, near-miss anomaly sequences that
+never terminate in a failure (Table 9), maintenance shutdowns, and exact
+ground truth for evaluation.
+
+See DESIGN.md section 2 for the substitution argument.
+"""
+
+from .record import LogRecord, render_line, parse_line
+from .templates import MessageTemplate, TemplateCatalog, default_catalog
+from .faults import FailureClass, ChainTemplate, FaultModel, default_fault_model
+from .workload import WorkloadModel, Job
+from .generator import (
+    LogGenerator,
+    GeneratorConfig,
+    GeneratedLog,
+    FailureEvent,
+    NearMissEvent,
+    MaintenanceEvent,
+    GroundTruth,
+)
+from .systems import SystemPreset, SYSTEM_PRESETS, generate_system
+
+__all__ = [
+    "LogRecord",
+    "render_line",
+    "parse_line",
+    "MessageTemplate",
+    "TemplateCatalog",
+    "default_catalog",
+    "FailureClass",
+    "ChainTemplate",
+    "FaultModel",
+    "default_fault_model",
+    "WorkloadModel",
+    "Job",
+    "LogGenerator",
+    "GeneratorConfig",
+    "GeneratedLog",
+    "FailureEvent",
+    "NearMissEvent",
+    "MaintenanceEvent",
+    "GroundTruth",
+    "SystemPreset",
+    "SYSTEM_PRESETS",
+    "generate_system",
+]

@@ -1,0 +1,335 @@
+"""Failure classes, chain templates and lead-time distributions.
+
+Table 7 of the paper defines six node-failure classes with measured
+average lead times (seconds)::
+
+    Job 81.52   MCE 160.29   FileSystem 119.32
+    Traps 115.74   Hardware 124.29   Panic 58.87
+
+A :class:`ChainTemplate` lists the ordered anomalous phrases (by template
+key) that precede the terminal message for one failure scenario, plus the
+class lead-time distribution.  Observation 4 of the paper — per-class
+lead-time standard deviation is low compared to per-system deviation —
+is reproduced by giving every class a tight Gaussian around its Table-7
+mean, while systems mix classes in different proportions.
+
+Near-miss variants replay the same anomalous prefixes *without* a
+terminal message (the node recovers), reproducing the Table 9 phenomenon
+that identical phrases occur both inside and outside failure chains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import LogGenerationError
+from .templates import TemplateCatalog, default_catalog
+
+__all__ = [
+    "FailureClass",
+    "ChainTemplate",
+    "FaultModel",
+    "default_fault_model",
+    "PAPER_LEAD_TIMES",
+]
+
+
+class FailureClass(enum.Enum):
+    """The six node-failure classes of Table 7."""
+
+    JOB = "Job"
+    MCE = "MCE"
+    FILESYSTEM = "FS"
+    TRAPS = "Traps"
+    HARDWARE = "H/W"
+    PANIC = "Panic"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Average lead times (seconds) per class, from Table 7.
+PAPER_LEAD_TIMES: Mapping[FailureClass, float] = {
+    FailureClass.JOB: 81.52,
+    FailureClass.MCE: 160.29,
+    FailureClass.FILESYSTEM: 119.32,
+    FailureClass.TRAPS: 115.74,
+    FailureClass.HARDWARE: 124.29,
+    FailureClass.PANIC: 58.87,
+}
+
+
+@dataclass(frozen=True)
+class ChainTemplate:
+    """One failure scenario: anomalous phrase sequence ending in a terminal.
+
+    Attributes
+    ----------
+    name:
+        Unique scenario name.
+    failure_class:
+        The Table-7 class this scenario belongs to.
+    stage_keys:
+        Ordered non-terminal template keys (Unknown/Error phrases).
+    terminal_key:
+        Template key of the terminal message anchoring the chain.
+    lead_mean / lead_std:
+        Gaussian parameters (seconds) for the total lead time — the gap
+        between the first anomalous phrase and the terminal message.
+    recovery_keys:
+        Benign/ambiguous templates appended in the *near-miss* variant
+        instead of the terminal message (the node survives).
+    """
+
+    name: str
+    failure_class: FailureClass
+    stage_keys: tuple[str, ...]
+    terminal_key: str = "cb_node_unavailable"
+    lead_mean: float = 120.0
+    lead_std: float = 18.0
+    recovery_keys: tuple[str, ...] = ("nhc_pass",)
+
+    def __post_init__(self) -> None:
+        if len(self.stage_keys) < 2:
+            raise LogGenerationError(
+                f"chain {self.name!r} needs >= 2 stage phrases"
+            )
+        if self.lead_mean <= 0 or self.lead_std <= 0:
+            raise LogGenerationError(
+                f"chain {self.name!r} needs positive lead_mean/lead_std"
+            )
+
+    def validate_against(self, catalog: TemplateCatalog) -> None:
+        """Check that all referenced keys exist and the terminal is terminal."""
+        for key in (*self.stage_keys, self.terminal_key, *self.recovery_keys):
+            if key not in catalog:
+                raise LogGenerationError(
+                    f"chain {self.name!r} references unknown template {key!r}"
+                )
+        if not catalog.get(self.terminal_key).terminal:
+            raise LogGenerationError(
+                f"chain {self.name!r}: {self.terminal_key!r} is not terminal"
+            )
+
+    def sample_lead_time(self, rng: np.random.Generator) -> float:
+        """Draw a total lead time (seconds), clipped to stay positive."""
+        lo = max(5.0, self.lead_mean - 3 * self.lead_std)
+        hi = self.lead_mean + 3 * self.lead_std
+        return float(np.clip(rng.normal(self.lead_mean, self.lead_std), lo, hi))
+
+    def sample_offsets(self, rng: np.random.Generator) -> np.ndarray:
+        """Event time offsets, in seconds before the terminal message.
+
+        Returns a descending array of length ``len(stage_keys)``; the
+        first stage fires the full lead time ahead of the terminal and
+        later stages land at the scenario's characteristic interior
+        fractions, perturbed by a small relative jitter.  The *total*
+        lead varies per instance (Gaussian, :meth:`sample_lead_time`) but
+        the progression shape is stable — the paper's Observation 4:
+        "different failure classes have unique and reproducible lead
+        times to failure".
+        """
+        lead = self.sample_lead_time(rng)
+        n = len(self.stage_keys)
+        if n == 1:
+            return np.array([lead])
+        # Characteristic fractions: evenly spaced from 1 down toward the
+        # terminal, with 5%-of-lead jitter per stage.
+        fractions = np.linspace(1.0, 1.0 / n, n)
+        jitter = rng.normal(0.0, 0.05, size=n)
+        jitter[0] = 0.0  # first stage defines the lead exactly
+        offsets = np.clip(fractions + jitter, 0.02, 1.0) * lead
+        # Keep strictly descending order after jitter.
+        offsets = np.maximum.accumulate(offsets[::-1])[::-1]
+        for i in range(1, n):
+            if offsets[i] >= offsets[i - 1]:
+                offsets[i] = offsets[i - 1] * 0.98
+        return offsets
+
+
+def _default_chains() -> list[ChainTemplate]:
+    C = ChainTemplate
+    F = FailureClass
+    lt = PAPER_LEAD_TIMES
+    return [
+        # --- MCE: processor corruption (the paper's Table 4 example) -----
+        C(
+            "mce_processor_corruption",
+            F.MCE,
+            (
+                "mce_cpu_exception",
+                "mce_hw_error_run",
+                "mce_rip_inexact",
+                "uncorr_mce",
+                "kernel_panic",
+                "call_trace",
+            ),
+            lead_mean=lt[F.MCE],
+            lead_std=22.0,
+            recovery_keys=("corr_mem_page", "nhc_pass"),
+        ),
+        C(
+            "mce_memory_fault",
+            F.MCE,
+            ("mce_logged", "corr_dimm", "corr_mem_page", "mce_notify_irq", "uncorr_mce"),
+            lead_mean=lt[F.MCE],
+            lead_std=22.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        # --- FileSystem: Lustre / DVS bugs --------------------------------
+        C(
+            "fs_lustre_bug",
+            F.FILESYSTEM,
+            ("lustre_error", "lustre_skipped", "dvs_verify_fs", "dvs_no_servers", "lbug"),
+            lead_mean=lt[F.FILESYSTEM],
+            lead_std=18.0,
+            recovery_keys=("lustre_connect", "nhc_pass"),
+        ),
+        C(
+            "fs_lnet_protocol",
+            F.FILESYSTEM,
+            ("lnet_no_traffic", "gnilnd_reaper", "lustre_error", "lnet_critical_hw", "hsn_link_failed"),
+            lead_mean=lt[F.FILESYSTEM],
+            lead_std=18.0,
+            recovery_keys=("lnet_hw_quiesce_err", "lustre_connect"),
+        ),
+        # --- Job: slurm scheduler based ------------------------------------
+        C(
+            "job_slurm_controller",
+            F.JOB,
+            ("slurm_load_part", "slurmd_stopped", "nhc_exitcode", "slurm_kill_task"),
+            lead_mean=lt[F.JOB],
+            lead_std=14.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        C(
+            "job_oom_abort",
+            F.JOB,
+            ("oom_invoked", "oom_killed_proc", "nhc_exitcode", "slurm_kill_task"),
+            lead_mean=lt[F.JOB],
+            lead_std=14.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        # --- Traps: segfaults / invalid opcodes ----------------------------
+        C(
+            "trap_segfault",
+            F.TRAPS,
+            ("seg_violation", "trap_invalid", "page_fault_oops", "stack_trace"),
+            lead_mean=lt[F.TRAPS],
+            lead_std=17.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        C(
+            "trap_null_deref",
+            F.TRAPS,
+            ("kernel_null_deref", "trap_invalid", "page_fault_oops", "call_trace"),
+            lead_mean=lt[F.TRAPS],
+            lead_std=17.0,
+            recovery_keys=("nhc_exitcode", "nhc_pass"),
+        ),
+        # --- Hardware: NMI / heartbeat / interconnect ----------------------
+        C(
+            "hw_nmi_heartbeat",
+            F.HARDWARE,
+            ("lnet_critical_hw", "gsockets_critical", "debug_nmi", "heartbeat_fault", "stop_nmi"),
+            lead_mean=lt[F.HARDWARE],
+            lead_std=19.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        C(
+            "hw_protocol_err",
+            F.HARDWARE,
+            ("hwerr_ssid_rsp", "err_type_sev", "hwerr_rsp", "heartbeat_fault"),
+            lead_mean=lt[F.HARDWARE],
+            lead_std=19.0,
+            recovery_keys=("hwerr_aer_tlp", "nhc_pass"),
+        ),
+        # --- Panic: immediate kernel panics (short lead) --------------------
+        C(
+            "panic_fatal_check",
+            F.PANIC,
+            ("kernel_null_deref", "kernel_panic", "call_trace", "stack_trace"),
+            lead_mean=lt[F.PANIC],
+            lead_std=10.0,
+            recovery_keys=("nhc_pass",),
+        ),
+        C(
+            "panic_oops",
+            F.PANIC,
+            ("page_fault_oops", "kernel_panic", "stack_trace"),
+            lead_mean=lt[F.PANIC],
+            lead_std=10.0,
+            recovery_keys=("nhc_pass",),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Chain catalog plus the per-class mixing weights of one machine."""
+
+    chains: tuple[ChainTemplate, ...]
+    class_mix: Mapping[FailureClass, float] = field(
+        default_factory=lambda: {
+            FailureClass.JOB: 0.08,
+            FailureClass.MCE: 0.22,
+            FailureClass.FILESYSTEM: 0.22,
+            FailureClass.TRAPS: 0.14,
+            FailureClass.HARDWARE: 0.16,
+            FailureClass.PANIC: 0.18,
+        }
+    )
+
+    def __post_init__(self) -> None:
+        if not self.chains:
+            raise LogGenerationError("FaultModel needs at least one chain")
+        total = sum(self.class_mix.values())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise LogGenerationError(f"class_mix must sum to 1, got {total}")
+        covered = {c.failure_class for c in self.chains}
+        for cls, w in self.class_mix.items():
+            if w > 0 and cls not in covered:
+                raise LogGenerationError(
+                    f"class {cls} has weight {w} but no chain template"
+                )
+
+    def validate_against(self, catalog: TemplateCatalog) -> None:
+        """Check that every chain references valid catalog templates."""
+        for chain in self.chains:
+            chain.validate_against(catalog)
+
+    def chains_for(self, cls: FailureClass) -> list[ChainTemplate]:
+        """All chain templates belonging to one failure class."""
+        return [c for c in self.chains if c.failure_class == cls]
+
+    def sample_class(self, rng: np.random.Generator) -> FailureClass:
+        """Draw a failure class according to the machine's mix."""
+        classes = list(self.class_mix.keys())
+        probs = np.array([self.class_mix[c] for c in classes], dtype=np.float64)
+        return classes[int(rng.choice(len(classes), p=probs))]
+
+    def sample_chain(
+        self, rng: np.random.Generator, cls: FailureClass | None = None
+    ) -> ChainTemplate:
+        """Draw a chain template, optionally restricted to one class."""
+        if cls is None:
+            cls = self.sample_class(rng)
+        pool = self.chains_for(cls)
+        if not pool:
+            raise LogGenerationError(f"no chain templates for class {cls}")
+        return pool[int(rng.integers(0, len(pool)))]
+
+    def with_mix(self, mix: Mapping[FailureClass, float]) -> "FaultModel":
+        """Return a copy with a different class mix (used by M1-M4 presets)."""
+        return FaultModel(chains=self.chains, class_mix=dict(mix))
+
+
+def default_fault_model() -> FaultModel:
+    """The standard chain catalog, validated against the default templates."""
+    model = FaultModel(chains=tuple(_default_chains()))
+    model.validate_against(default_catalog())
+    return model

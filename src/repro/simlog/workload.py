@@ -1,0 +1,146 @@
+"""Slurm-like job workload simulation.
+
+The paper's machines run "more than 1,200,000 jobs/year"; job scheduler
+activity is a major source of both benign log traffic and Job-class
+failures.  :class:`WorkloadModel` simulates a simple batch scheduler:
+jobs arrive as a Poisson process, occupy a random subset of nodes for a
+bounded duration, and emit placement / completion / cancellation
+messages on their nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import LogGenerationError
+from ..topology.cluster import ClusterTopology
+from ..topology.cray import CrayNodeId
+from .record import LogRecord
+from .templates import TemplateCatalog
+
+__all__ = ["Job", "WorkloadModel"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One scheduled batch job."""
+
+    job_id: int
+    nodes: tuple[CrayNodeId, ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise LogGenerationError(
+                f"job {self.job_id}: end ({self.end}) must follow start ({self.start})"
+            )
+        if not self.nodes:
+            raise LogGenerationError(f"job {self.job_id}: needs at least one node")
+
+    @property
+    def duration(self) -> float:
+        """Job runtime in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Poisson batch-job arrival model.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Expected job arrivals per second across the machine.
+    mean_duration / min_duration:
+        Exponential job-length model (seconds), floored at ``min_duration``.
+    max_job_nodes:
+        Upper bound on nodes per job (drawn log-uniformly from 1).
+    """
+
+    arrival_rate: float = 1 / 120.0
+    mean_duration: float = 1800.0
+    min_duration: float = 60.0
+    max_job_nodes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise LogGenerationError("arrival_rate must be > 0")
+        if self.min_duration <= 0 or self.mean_duration < self.min_duration:
+            raise LogGenerationError("need 0 < min_duration <= mean_duration")
+        if self.max_job_nodes < 1:
+            raise LogGenerationError("max_job_nodes must be >= 1")
+
+    def sample_jobs(
+        self,
+        rng: np.random.Generator,
+        topology: ClusterTopology,
+        horizon: float,
+        first_job_id: int = 100000,
+    ) -> list[Job]:
+        """Generate the job arrivals over ``[0, horizon)`` seconds."""
+        if horizon <= 0:
+            raise LogGenerationError(f"horizon must be > 0, got {horizon}")
+        expected = self.arrival_rate * horizon
+        count = int(rng.poisson(expected))
+        starts = np.sort(rng.uniform(0.0, horizon, size=count))
+        durations = np.maximum(
+            rng.exponential(self.mean_duration, size=count), self.min_duration
+        )
+        max_nodes = min(self.max_job_nodes, topology.num_nodes)
+        jobs: list[Job] = []
+        for i in range(count):
+            # Log-uniform node count in [1, max_nodes] favouring small jobs,
+            # like real batch traces.
+            width = int(np.exp(rng.uniform(0.0, np.log(max_nodes + 1))))
+            width = int(np.clip(width, 1, max_nodes))
+            nodes = tuple(topology.sample_nodes(rng, width))
+            jobs.append(
+                Job(
+                    job_id=first_job_id + i,
+                    nodes=nodes,
+                    start=float(starts[i]),
+                    end=float(starts[i] + durations[i]),
+                )
+            )
+        return jobs
+
+    def job_records(
+        self,
+        rng: np.random.Generator,
+        jobs: Sequence[Job],
+        catalog: TemplateCatalog,
+        horizon: float,
+    ) -> list[LogRecord]:
+        """Emit the benign scheduler log records for a job list.
+
+        Each job logs an ALPS placement message on every allocated node at
+        start, and a node-health pass at completion (when inside the
+        horizon).  These are *safe* phrases and serve as structured noise.
+        """
+        place = catalog.get("alps_placement")
+        done = catalog.get("nhc_pass")
+        records: list[LogRecord] = []
+        for job in jobs:
+            for node in job.nodes:
+                records.append(
+                    LogRecord(
+                        timestamp=job.start,
+                        node=node,
+                        facility=place.facility,
+                        message=place.fill(rng),
+                    )
+                )
+                if job.end < horizon:
+                    records.append(
+                        LogRecord(
+                            timestamp=job.end,
+                            node=node,
+                            facility=done.facility,
+                            message=done.fill(rng),
+                        )
+                    )
+        return records

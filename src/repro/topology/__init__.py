@@ -1,0 +1,12 @@
+"""Cray-style cluster topology substrate.
+
+Provides :class:`CrayNodeId` (the ``cA-BcCsSnN`` identifier format whose
+fields localize a node to cabinet column/row, chassis, blade (slot) and
+node number — Section 4.5 of the paper) and :class:`ClusterTopology`
+describing a whole machine.
+"""
+
+from .cray import CrayNodeId, format_node_id, parse_node_id
+from .cluster import ClusterTopology
+
+__all__ = ["CrayNodeId", "format_node_id", "parse_node_id", "ClusterTopology"]

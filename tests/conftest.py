@@ -1,0 +1,100 @@
+"""Shared fixtures.
+
+The expensive artifacts (a generated log, a fitted parser, a trained
+mini Desh model) are session-scoped so the whole suite pays for them
+once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DeshConfig,
+    EmbeddingConfig,
+    Phase1Config,
+    Phase2Config,
+    Phase3Config,
+)
+from repro.core import Desh
+from repro.parsing import LogParser
+from repro.simlog import (
+    GeneratorConfig,
+    LogGenerator,
+    default_catalog,
+    default_fault_model,
+)
+from repro.topology import ClusterTopology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> ClusterTopology:
+    return ClusterTopology(
+        cabinet_cols=2,
+        cabinet_rows=1,
+        chassis_per_cabinet=2,
+        slots_per_chassis=2,
+        nodes_per_blade=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return default_catalog()
+
+
+@pytest.fixture(scope="session")
+def fault_model():
+    return default_fault_model()
+
+
+@pytest.fixture(scope="session")
+def small_log(small_topology):
+    """A small but complete generated log with all event kinds."""
+    generator = LogGenerator(small_topology)
+    config = GeneratorConfig(
+        horizon=10 * 3600.0,
+        failure_count=80,
+        near_miss_ratio=0.5,
+        maintenance_count=1,
+        background_rate=1 / 180.0,
+    )
+    return generator.generate(config, np.random.default_rng(42))
+
+
+@pytest.fixture(scope="session")
+def fitted_parser(small_log) -> LogParser:
+    parser = LogParser()
+    parser.fit(small_log.records)
+    return parser
+
+
+@pytest.fixture(scope="session")
+def mini_config() -> DeshConfig:
+    """Small, fast configuration for end-to-end tests."""
+    return DeshConfig(
+        embedding=EmbeddingConfig(dim=12, epochs=1),
+        phase1=Phase1Config(hidden_size=16, epochs=1, batch_size=128),
+        phase2=Phase2Config(hidden_size=32, epochs=300, learning_rate=0.01),
+        phase3=Phase3Config(),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_model(small_log, mini_config):
+    """A trained Desh model over the small log's training split."""
+    train, _ = small_log.split(0.3)
+    return Desh(mini_config).fit(list(train.records), train_classifier=False)
+
+
+@pytest.fixture(scope="session")
+def test_split(small_log):
+    _, test = small_log.split(0.3)
+    return test

@@ -1,0 +1,93 @@
+"""Tests for automatic threshold calibration."""
+
+import pytest
+
+from repro.analysis import calibrate_threshold
+from repro.analysis.calibration import DEFAULT_GRID
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def validation_slice(trained_model, small_log):
+    """The tail of the training window as a calibration slice."""
+    train, _ = small_log.split(0.3)
+    cut = small_log.config.horizon * 0.15
+    records = [r for r in train.records if r.timestamp >= cut]
+    parsed = trained_model.parse(records)
+    sequences = [s for s in parsed.by_node().values() if s.node is not None]
+    from repro.simlog.generator import GroundTruth
+
+    truth = GroundTruth(
+        failures=[
+            f for f in train.ground_truth.failures if f.terminal_time >= cut
+        ],
+        near_misses=[
+            m for m in train.ground_truth.near_misses if m.end_time >= cut
+        ],
+    )
+    return sequences, truth
+
+
+class TestCalibrateThreshold:
+    def test_chooses_grid_value(self, trained_model, validation_slice):
+        sequences, truth = validation_slice
+        result = calibrate_threshold(
+            trained_model.predictor, sequences, truth
+        )
+        assert result.threshold in DEFAULT_GRID
+        assert len(result.points) == len(DEFAULT_GRID)
+
+    def test_chosen_point_accessible(self, trained_model, validation_slice):
+        sequences, truth = validation_slice
+        result = calibrate_threshold(trained_model.predictor, sequences, truth)
+        assert result.chosen_point.threshold == result.threshold
+
+    def test_f1_choice_is_maximal(self, trained_model, validation_slice):
+        sequences, truth = validation_slice
+        result = calibrate_threshold(trained_model.predictor, sequences, truth)
+
+        def f1(p):
+            if p.recall + p.precision == 0:
+                return 0.0
+            return 2 * p.recall * p.precision / (p.recall + p.precision)
+
+        best = max(f1(p) for p in result.points)
+        assert f1(result.chosen_point) == pytest.approx(best)
+
+    def test_fp_constrained_choice(self, trained_model, validation_slice):
+        sequences, truth = validation_slice
+        result = calibrate_threshold(
+            trained_model.predictor, sequences, truth, max_fp_rate=10.0
+        )
+        assert result.chosen_point.fp_rate <= 10.0
+        # Loosest qualifying threshold: every looser grid value violates.
+        looser = [
+            p for p in result.points if p.threshold > result.threshold
+        ]
+        assert all(p.fp_rate > 10.0 for p in looser)
+
+    def test_impossible_fp_target_falls_back_tightest(
+        self, trained_model, validation_slice
+    ):
+        sequences, truth = validation_slice
+        result = calibrate_threshold(
+            trained_model.predictor, sequences, truth, max_fp_rate=-1.0
+        )
+        assert result.threshold == min(DEFAULT_GRID)
+
+    def test_rejects_empty_grid(self, trained_model, validation_slice):
+        sequences, truth = validation_slice
+        with pytest.raises(ConfigError):
+            calibrate_threshold(
+                trained_model.predictor, sequences, truth, grid=()
+            )
+
+    def test_calibrated_threshold_near_default(
+        self, trained_model, validation_slice
+    ):
+        """The shipped default (2.0) must be in the calibrated ballpark —
+        this is the codified version of the manual calibration recorded
+        in DESIGN.md §2."""
+        sequences, truth = validation_slice
+        result = calibrate_threshold(trained_model.predictor, sequences, truth)
+        assert 0.5 <= result.threshold <= 8.0

@@ -1,0 +1,125 @@
+"""Tests for threshold operating curves, AUC, and the report generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Evaluator,
+    OperatingPoint,
+    system_report,
+    threshold_curve,
+    trapezoid_auc,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def sequences(trained_model, test_split):
+    parsed = trained_model.parse(test_split.records)
+    return [s for s in parsed.by_node().values() if s.node is not None]
+
+
+class TestThresholdCurve:
+    def test_points_in_order(self, trained_model, test_split, sequences):
+        points = threshold_curve(
+            trained_model.predictor,
+            sequences,
+            test_split.ground_truth,
+            thresholds=(0.5, 2.0, 8.0),
+        )
+        assert [p.threshold for p in points] == [0.5, 2.0, 8.0]
+
+    def test_recall_monotone_in_threshold(
+        self, trained_model, test_split, sequences
+    ):
+        """Loosening the threshold can only flag more chains."""
+        points = threshold_curve(
+            trained_model.predictor,
+            sequences,
+            test_split.ground_truth,
+            thresholds=(0.5, 2.0, 8.0, 32.0),
+        )
+        recalls = [p.recall for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(recalls, recalls[1:]))
+
+    def test_fp_rate_monotone_in_threshold(
+        self, trained_model, test_split, sequences
+    ):
+        points = threshold_curve(
+            trained_model.predictor,
+            sequences,
+            test_split.ground_truth,
+            thresholds=(0.5, 2.0, 8.0, 32.0),
+        )
+        fps = [p.fp_rate for p in points]
+        assert all(a <= b + 1e-9 for a, b in zip(fps, fps[1:]))
+
+    def test_rejects_empty_or_nonpositive(self, trained_model, test_split, sequences):
+        with pytest.raises(ConfigError):
+            threshold_curve(
+                trained_model.predictor, sequences, test_split.ground_truth, ()
+            )
+        with pytest.raises(ConfigError):
+            threshold_curve(
+                trained_model.predictor,
+                sequences,
+                test_split.ground_truth,
+                (0.0,),
+            )
+
+
+class TestTrapezoidAuc:
+    def test_perfect_detector(self):
+        points = [OperatingPoint(1.0, 100.0, 100.0, 0.0, 60.0)]
+        assert trapezoid_auc(points) == pytest.approx(1.0)
+
+    def test_diagonal_detector(self):
+        points = [OperatingPoint(1.0, 50.0, 50.0, 50.0, 60.0)]
+        assert trapezoid_auc(points) == pytest.approx(0.5)
+
+    def test_real_detector_beats_chance(self, trained_model, test_split, sequences):
+        points = threshold_curve(
+            trained_model.predictor,
+            sequences,
+            test_split.ground_truth,
+            thresholds=(0.5, 2.0, 8.0),
+        )
+        assert trapezoid_auc(points) > 0.7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            trapezoid_auc([])
+
+
+class TestSystemReport:
+    def test_report_contains_all_sections(self, trained_model, test_split):
+        report = system_report(
+            trained_model, test_split.records, test_split.ground_truth
+        )
+        for heading in (
+            "# Desh evaluation report",
+            "## Prediction efficiency",
+            "## Lead times per failure class",
+            "## Recovery feasibility",
+            "## Top unknown-phrase failure indicators",
+            "## Model inventory",
+        ):
+            assert heading in report
+
+    def test_report_numbers_consistent(self, trained_model, test_split):
+        report = system_report(
+            trained_model, test_split.records, test_split.ground_truth
+        )
+        result = Evaluator(test_split.ground_truth).evaluate(
+            trained_model.score(test_split.records)
+        )
+        assert f"{result.metrics.recall:.2f}%" in report
+
+    def test_custom_title(self, trained_model, test_split):
+        report = system_report(
+            trained_model,
+            test_split.records,
+            test_split.ground_truth,
+            title="Weekly M9 review",
+        )
+        assert report.startswith("# Weekly M9 review")

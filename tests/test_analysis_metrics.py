@@ -1,0 +1,87 @@
+"""Tests for confusion counts and Table-6 metric formulas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import ConfusionCounts, PredictionMetrics
+from repro.errors import ShapeError
+
+
+class TestConfusionCounts:
+    def test_total(self):
+        assert ConfusionCounts(1, 2, 3, 4).total == 10
+
+    def test_addition(self):
+        a = ConfusionCounts(1, 2, 3, 4)
+        b = ConfusionCounts(10, 20, 30, 40)
+        c = a + b
+        assert (c.tp, c.fp, c.fn, c.tn) == (11, 22, 33, 44)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            ConfusionCounts(tp=-1)
+
+    def test_rejects_float(self):
+        with pytest.raises(ShapeError):
+            ConfusionCounts(tp=1.5)  # type: ignore[arg-type]
+
+
+class TestTable6Formulas:
+    """Exact checks of every formula in Table 6."""
+
+    counts = ConfusionCounts(tp=70, fp=10, fn=15, tn=105)
+
+    def test_recall(self):
+        assert self.counts.metrics().recall == pytest.approx(100 * 70 / 85)
+
+    def test_precision(self):
+        assert self.counts.metrics().precision == pytest.approx(100 * 70 / 80)
+
+    def test_accuracy(self):
+        assert self.counts.metrics().accuracy == pytest.approx(100 * 175 / 200)
+
+    def test_f1(self):
+        m = self.counts.metrics()
+        expected = 2 * m.recall * m.precision / (m.recall + m.precision)
+        assert m.f1 == pytest.approx(expected)
+
+    def test_fp_rate(self):
+        assert self.counts.metrics().fp_rate == pytest.approx(100 * 10 / 115)
+
+    def test_fn_rate_is_complement_of_recall(self):
+        m = self.counts.metrics()
+        assert m.fn_rate == pytest.approx(100.0 - m.recall)
+
+    def test_perfect_predictor(self):
+        m = ConfusionCounts(tp=50, tn=50).metrics()
+        assert m.recall == m.precision == m.accuracy == m.f1 == 100.0
+        assert m.fp_rate == m.fn_rate == 0.0
+
+    def test_zero_denominators_give_zero(self):
+        m = ConfusionCounts().metrics()
+        assert m.recall == m.precision == m.accuracy == m.f1 == 0.0
+
+    def test_as_dict_keys(self):
+        d = self.counts.metrics().as_dict()
+        assert set(d) == {"recall", "precision", "accuracy", "f1", "fp_rate", "fn_rate"}
+
+    @given(
+        st.integers(0, 500),
+        st.integers(0, 500),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    def test_property_ranges(self, tp, fp, fn, tn):
+        m = ConfusionCounts(tp, fp, fn, tn).metrics()
+        for value in m.as_dict().values():
+            assert 0.0 <= value <= 100.0
+
+    @given(st.integers(1, 500), st.integers(0, 500))
+    def test_property_recall_fn_complement(self, tp, fn):
+        m = ConfusionCounts(tp=tp, fn=fn).metrics()
+        assert m.recall + m.fn_rate == pytest.approx(100.0)
+
+    def test_from_counts_equals_metrics(self):
+        assert (
+            PredictionMetrics.from_counts(self.counts) == self.counts.metrics()
+        )

@@ -1,0 +1,172 @@
+"""Tests for lead-time stats, sensitivity, unknown analysis, cost, report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import CostSample, measure_prediction_cost
+from repro.analysis.evaluation import Evaluator
+from repro.analysis.leadtime import LeadTimeStats, lead_time_overall, lead_times_by_class
+from repro.analysis.report import render_series, render_table
+from repro.analysis.unknown import UnknownPhraseStats, unknown_phrase_analysis, sequence_examples
+from repro.core.chains import Episode, FailureChain
+from repro.errors import ShapeError
+from repro.events import EventSequence, Label, ParsedEvent
+from repro.parsing.encoder import PhraseVocabulary
+from repro.simlog.faults import FailureClass
+from repro.topology import CrayNodeId
+
+NODE = CrayNodeId(0, 0, 0, 0, 0)
+
+
+class TestLeadTimeStats:
+    def test_from_values(self):
+        s = LeadTimeStats.from_values([60.0, 120.0])
+        assert s.mean == 90.0
+        assert s.count == 2
+        assert s.mean_minutes == pytest.approx(1.5)
+
+    def test_empty(self):
+        s = LeadTimeStats.from_values([])
+        assert s.mean == 0.0 and s.count == 0
+
+    def test_std(self):
+        s = LeadTimeStats.from_values([10.0, 20.0])
+        assert s.std == pytest.approx(5.0)
+
+
+class TestUnknownPhraseAnalysis:
+    def make_data(self):
+        vocab = PhraseVocabulary()
+        for text in ("lustre err", "oom", "panic", "terminal"):
+            vocab.add(text)
+        # phrase 0 appears 4x total, 2x inside chains; phrase 1 appears
+        # 2x, never in a chain.
+        def ev(t, pid, label=Label.UNKNOWN, terminal=False):
+            return ParsedEvent(
+                timestamp=t, phrase_id=pid, node=NODE, label=label, terminal=terminal
+            )
+
+        events = [
+            ev(0, 0),
+            ev(10, 0),
+            ev(20, 1),
+            ev(100, 0),
+            ev(110, 3, Label.ERROR, True),
+            ev(200, 0),
+            ev(210, 3, Label.ERROR, True),
+            ev(300, 1),
+        ]
+        seqs = [EventSequence(NODE, events)]
+        chains = [
+            FailureChain(NODE, (events[3], events[4])),
+            FailureChain(NODE, (events[5], events[6])),
+        ]
+        labels = [Label.UNKNOWN, Label.UNKNOWN, Label.UNKNOWN, Label.ERROR]
+        return seqs, chains, vocab, labels
+
+    def test_contribution_percentages(self):
+        seqs, chains, vocab, labels = self.make_data()
+        stats = unknown_phrase_analysis(seqs, chains, vocab, labels)
+        by_id = {s.phrase_id: s for s in stats}
+        assert by_id[0].total_occurrences == 4
+        assert by_id[0].chain_occurrences == 2
+        assert by_id[0].contribution_pct == pytest.approx(50.0)
+        assert by_id[1].contribution_pct == 0.0
+
+    def test_sorted_by_contribution(self):
+        seqs, chains, vocab, labels = self.make_data()
+        stats = unknown_phrase_analysis(seqs, chains, vocab, labels)
+        pcts = [s.contribution_pct for s in stats]
+        assert pcts == sorted(pcts, reverse=True)
+
+    def test_error_phrases_excluded(self):
+        seqs, chains, vocab, labels = self.make_data()
+        stats = unknown_phrase_analysis(seqs, chains, vocab, labels)
+        assert all(s.phrase_id != 3 for s in stats)
+
+    def test_zero_occurrence_pct(self):
+        s = UnknownPhraseStats(0, "x", 0, 0)
+        assert s.contribution_pct == 0.0
+
+    def test_sequence_examples_share_phrases(self):
+        seqs, chains, vocab, labels = self.make_data()
+        episodes = [
+            Episode(
+                NODE,
+                (
+                    ParsedEvent(timestamp=400, phrase_id=0, node=NODE),
+                    ParsedEvent(timestamp=410, phrase_id=1, node=NODE),
+                ),
+            )
+        ]
+        pairs = sequence_examples(chains, episodes, vocab)
+        assert pairs
+        failure_phrases, survivor_phrases = pairs[0]
+        assert set(failure_phrases) & set(survivor_phrases)
+
+
+class TestCost:
+    def test_samples_cover_grid(self):
+        samples = measure_prediction_cost(
+            vocab_size=20,
+            steps_range=(1, 2),
+            histories=(5,),
+            hidden_size=8,
+            embed_dim=8,
+            repeats=3,
+        )
+        assert len(samples) == 2
+        assert all(isinstance(s, CostSample) for s in samples)
+
+    def test_positive_latency(self):
+        samples = measure_prediction_cost(
+            vocab_size=20, steps_range=(1,), histories=(5,), repeats=3
+        )
+        assert samples[0].millis_per_prediction > 0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ShapeError):
+            measure_prediction_cost(repeats=0)
+
+
+class TestReport:
+    def test_render_table_aligned(self):
+        out = render_table(["name", "val"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "22.50" in lines[3]
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_render_table_rejects_ragged(self):
+        with pytest.raises(ShapeError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_table_rejects_empty_headers(self):
+        with pytest.raises(ShapeError):
+            render_table([], [])
+
+    def test_render_series(self):
+        out = render_series("lead", [1, 2], [10.0, 20.0], unit="s")
+        assert out == "lead: 1=10.00s 2=20.00s"
+
+    def test_render_series_rejects_mismatch(self):
+        with pytest.raises(ShapeError):
+            render_series("x", [1], [1.0, 2.0])
+
+
+class TestLeadTimesFromModel:
+    """Lead-time aggregation over the session-scoped trained model."""
+
+    def test_by_class_and_overall(self, trained_model, test_split):
+        res = Evaluator(test_split.ground_truth).evaluate(
+            trained_model.score(test_split.records)
+        )
+        overall = lead_time_overall(res)
+        assert overall.count > 0
+        by_class = lead_times_by_class(res)
+        total = sum(s.count for s in by_class.values())
+        assert total == overall.count
+        assert set(by_class) == set(FailureClass)

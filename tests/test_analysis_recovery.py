@@ -1,0 +1,67 @@
+"""Tests for the recovery-action feasibility analysis (Section 4.6)."""
+
+import pytest
+
+from repro.analysis.evaluation import EpisodeKind, Evaluator, ScoredEpisode
+from repro.analysis.recovery import (
+    PAPER_ACTIONS,
+    RecoveryAction,
+    recovery_feasibility,
+)
+from repro.errors import ConfigError
+
+
+class TestRecoveryAction:
+    def test_paper_actions_present(self):
+        names = [a.name for a in PAPER_ACTIONS]
+        assert any("migration" in n for n in names)
+        assert any("cloning" in n for n in names)
+
+    def test_paper_costs_ordered(self):
+        """Quarantine < migration < cloning < checkpoint (Section 4.6)."""
+        costs = [a.required_seconds for a in PAPER_ACTIONS]
+        assert costs == sorted(costs)
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ConfigError):
+            RecoveryAction("x", 0.0)
+
+
+class TestFeasibility:
+    def test_fractions_on_real_results(self, trained_model, test_split):
+        result = Evaluator(test_split.ground_truth).evaluate(
+            trained_model.score(test_split.records)
+        )
+        rows = recovery_feasibility(result)
+        assert len(rows) == len(PAPER_ACTIONS)
+        fractions = [r.fraction for r in rows]
+        # Monotone: cheaper actions are feasible at least as often.
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        # Quarantining (5s) must be feasible for the vast majority.
+        assert rows[0].fraction > 0.8
+
+    def test_percent_and_counts(self, trained_model, test_split):
+        result = Evaluator(test_split.ground_truth).evaluate(
+            trained_model.score(test_split.records)
+        )
+        row = recovery_feasibility(result)[0]
+        assert row.percent == pytest.approx(100.0 * row.feasible / row.total)
+
+    def test_empty_result(self):
+        from repro.analysis.evaluation import EvaluationResult
+        from repro.analysis.metrics import ConfusionCounts
+
+        empty = EvaluationResult(
+            scored=[], uncovered_failures=[], counts=ConfusionCounts()
+        )
+        rows = recovery_feasibility(empty)
+        assert all(r.fraction == 0.0 for r in rows)
+
+    def test_custom_actions(self, trained_model, test_split):
+        result = Evaluator(test_split.ground_truth).evaluate(
+            trained_model.score(test_split.records)
+        )
+        rows = recovery_feasibility(
+            result, actions=(RecoveryAction("instant", 0.001),)
+        )
+        assert rows[0].fraction >= 0.99

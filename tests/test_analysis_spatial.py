@@ -1,0 +1,105 @@
+"""Tests for spatial-correlation analysis and cascade injection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spatial import SpatialCorrelation, spatial_correlation
+from repro.errors import ConfigError, LogGenerationError
+from repro.simlog import GeneratorConfig, LogGenerator
+from repro.simlog.faults import FailureClass
+from repro.simlog.generator import FailureEvent
+from repro.topology import ClusterTopology, CrayNodeId
+
+
+def failure(node, t):
+    return FailureEvent(node, FailureClass.MCE, "mce", t - 100.0, t)
+
+
+class TestSpatialCorrelation:
+    def test_correlated_pairs_detected(self, small_topology):
+        a = small_topology.node_at(0)
+        b = small_topology.cabinet_mates(a)[0]
+        c = CrayNodeId(1, 0, 0, 0, 0)  # other cabinet
+        failures = [failure(a, 1000.0), failure(b, 1100.0), failure(c, 5000.0)]
+        corr = spatial_correlation(failures, small_topology, window_seconds=300.0)
+        assert corr.close_pairs == 1
+        assert corr.same_cabinet_pairs == 1
+        assert corr.correlation_ratio > 1.0
+
+    def test_distant_pairs_ignored(self, small_topology):
+        a = small_topology.node_at(0)
+        b = small_topology.cabinet_mates(a)[0]
+        failures = [failure(a, 1000.0), failure(b, 9000.0)]
+        corr = spatial_correlation(failures, small_topology)
+        assert corr.close_pairs == 0
+        assert corr.observed_rate == 0.0
+
+    def test_same_node_pairs_excluded(self, small_topology):
+        a = small_topology.node_at(0)
+        failures = [failure(a, 1000.0), failure(a, 1100.0)]
+        corr = spatial_correlation(failures, small_topology)
+        assert corr.close_pairs == 0
+
+    def test_expected_rate_from_topology(self, small_topology):
+        corr = spatial_correlation([], small_topology)
+        n = small_topology.num_nodes
+        per_cab = small_topology.nodes_per_cabinet
+        assert corr.expected_same_cabinet_rate == pytest.approx(
+            (per_cab - 1) / (n - 1)
+        )
+
+    def test_rejects_bad_window(self, small_topology):
+        with pytest.raises(ConfigError):
+            spatial_correlation([], small_topology, window_seconds=0.0)
+
+    def test_empty_is_neutral(self, small_topology):
+        corr = spatial_correlation([], small_topology)
+        assert corr.correlation_ratio == 0.0
+
+
+class TestCascadeInjection:
+    def test_rejects_bad_cascade_prob(self):
+        with pytest.raises(LogGenerationError):
+            GeneratorConfig(cascade_prob=1.0)
+
+    def test_cascades_raise_cabinet_correlation(self):
+        """cascade_prob > 0 must produce measurably correlated failures."""
+        topo = ClusterTopology(
+            cabinet_cols=4, cabinet_rows=1, chassis_per_cabinet=2,
+            slots_per_chassis=2, nodes_per_blade=2,
+        )
+        gen = LogGenerator(topo)
+        base = dict(horizon=12 * 3600.0, failure_count=60, near_miss_ratio=0.0,
+                    maintenance_count=0)
+        quiet = gen.generate(
+            GeneratorConfig(cascade_prob=0.0, **base), np.random.default_rng(3)
+        )
+        stormy = gen.generate(
+            GeneratorConfig(cascade_prob=0.6, **base), np.random.default_rng(3)
+        )
+        corr_q = spatial_correlation(quiet.ground_truth.failures, topo)
+        corr_s = spatial_correlation(stormy.ground_truth.failures, topo)
+        assert len(stormy.ground_truth.failures) > len(quiet.ground_truth.failures)
+        assert corr_s.correlation_ratio > max(corr_q.correlation_ratio, 1.0)
+
+    def test_cascade_failures_carry_records(self):
+        """Cascaded failures get full chains in the log, like primaries."""
+        topo = ClusterTopology(2, 1, 2, 2, 2)
+        gen = LogGenerator(topo)
+        log = gen.generate(
+            GeneratorConfig(
+                horizon=12 * 3600.0,
+                failure_count=20,
+                near_miss_ratio=0.0,
+                maintenance_count=0,
+                cascade_prob=0.5,
+            ),
+            np.random.default_rng(4),
+        )
+        terminal_keys = {
+            (r.node, round(r.timestamp, 6))
+            for r in log.records
+            if "cb_node_unavailable" in r.message
+        }
+        for f in log.ground_truth.failures:
+            assert (f.node, round(f.terminal_time, 6)) in terminal_keys

@@ -1,0 +1,163 @@
+"""Tests for the DeepLog, n-gram and severity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deeplog import DeepLogConfig, DeepLogDetector
+from repro.baselines.ngram import NGramConfig, NGramDetector
+from repro.baselines.severity import SeverityDetector
+from repro.core.chains import Episode
+from repro.errors import ConfigError, NotFittedError, TrainingError
+from repro.events import EventSequence, Label, ParsedEvent
+from repro.topology import CrayNodeId
+
+NODE = CrayNodeId(0, 0, 0, 0, 0)
+
+
+@pytest.fixture(scope="module")
+def normal_sequences():
+    """Highly regular 'normal execution' sequences over vocab 10."""
+    return [np.array(([0, 1, 2, 3, 4] * 30), dtype=np.int64) for _ in range(4)]
+
+
+def make_episode(ids, gap=10.0, labels=None):
+    events = []
+    for i, pid in enumerate(ids):
+        label = labels[i] if labels else Label.UNKNOWN
+        events.append(
+            ParsedEvent(timestamp=100.0 + gap * i, phrase_id=pid, node=NODE, label=label)
+        )
+    return Episode(NODE, tuple(events))
+
+
+class TestDeepLog:
+    @pytest.fixture(scope="class")
+    def detector(self, normal_sequences):
+        cfg = DeepLogConfig(
+            history=5, top_g=2, hidden_size=16, embed_dim=8, epochs=8
+        )
+        return DeepLogDetector(10, config=cfg, seed=0).fit(normal_sequences)
+
+    def test_normal_sequence_clean(self, detector):
+        seq = np.array([0, 1, 2, 3, 4] * 4)
+        assert not detector.entry_anomalies(seq).any()
+
+    def test_injected_key_detected(self, detector):
+        seq = np.array([0, 1, 2, 3, 4] * 3 + [9])
+        mask = detector.entry_anomalies(seq)
+        assert mask[-1]
+
+    def test_short_sequence_never_anomalous(self, detector):
+        assert not detector.entry_anomalies(np.array([9, 9])).any()
+
+    def test_episode_verdict_flagged(self, detector):
+        ep = make_episode([0, 1, 2, 3, 4, 9, 0, 1])
+        verdict = detector.score_episode(ep)
+        assert verdict.flagged
+        assert verdict.lead_seconds > 0
+
+    def test_normal_episode_not_flagged(self, detector):
+        ep = make_episode([0, 1, 2, 3, 4, 0, 1, 2])
+        assert not detector.score_episode(ep).flagged
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DeepLogDetector(10).entry_anomalies(np.arange(10))
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(TrainingError):
+            DeepLogDetector(10).fit([np.array([1, 2])])
+
+    def test_rejects_bad_top_g(self):
+        with pytest.raises(TrainingError):
+            DeepLogDetector(10, config=DeepLogConfig(top_g=99))
+
+    def test_predict_sequences_interface(self, detector):
+        events = [
+            ParsedEvent(timestamp=10.0 * i, phrase_id=pid, node=NODE)
+            for i, pid in enumerate([0, 1, 2, 3, 4, 9])
+        ]
+        verdicts = detector.predict_sequences([EventSequence(NODE, events)])
+        assert len(verdicts) == 1
+
+
+class TestNGram:
+    @pytest.fixture(scope="class")
+    def detector(self, normal_sequences):
+        return NGramDetector(config=NGramConfig(order=3, top_g=1)).fit(
+            normal_sequences
+        )
+
+    def test_learns_transitions(self, detector):
+        assert detector.top_candidates([0, 1, 2]) == [3]
+
+    def test_backoff_to_shorter_context(self, detector):
+        # Context (9, 9, 2) unseen; backs off to (2,) -> 3.
+        assert 3 in detector.top_candidates([9, 9, 2])
+
+    def test_backoff_to_unigram(self, detector):
+        # Entirely unseen context: falls back to most frequent keys.
+        cands = detector.top_candidates([9, 9, 9])
+        assert cands and all(0 <= c <= 4 for c in cands)
+
+    def test_normal_clean(self, detector):
+        mask = detector.entry_anomalies(np.array([0, 1, 2, 3, 4] * 3))
+        assert not mask.any()
+
+    def test_anomaly_detected(self, detector):
+        mask = detector.entry_anomalies(np.array([0, 1, 2, 9]))
+        assert mask[-1]
+
+    def test_episode_flagging(self, detector):
+        assert detector.score_episode(make_episode([0, 1, 2, 9])).flagged
+        assert not detector.score_episode(make_episode([0, 1, 2, 3])).flagged
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NGramDetector().top_candidates([1])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(TrainingError):
+            NGramDetector().fit([])
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(TrainingError):
+            NGramDetector(config=NGramConfig(order=0))
+
+
+class TestSeverity:
+    def test_flags_on_error_label(self):
+        ep = make_episode(
+            [1, 2, 3], labels=[Label.UNKNOWN, Label.ERROR, Label.UNKNOWN]
+        )
+        verdict = SeverityDetector().score_episode(ep)
+        assert verdict.flagged
+        assert verdict.decision_index == 1
+
+    def test_quiet_without_error(self):
+        ep = make_episode([1, 2, 3])
+        assert not SeverityDetector().score_episode(ep).flagged
+
+    def test_min_error_events(self):
+        ep = make_episode(
+            [1, 2, 3], labels=[Label.ERROR, Label.UNKNOWN, Label.UNKNOWN]
+        )
+        assert not SeverityDetector(min_error_events=2).score_episode(ep).flagged
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            SeverityDetector(min_error_events=0)
+
+    def test_high_recall_poor_precision_on_real_data(
+        self, trained_model, test_split
+    ):
+        """Observation 6: the severity strawman flags near-misses too."""
+        from repro.analysis.evaluation import Evaluator
+
+        parsed = trained_model.parse(test_split.records)
+        seqs = [s for s in parsed.by_node().values() if s.node is not None]
+        verdicts = SeverityDetector().predict_sequences(seqs)
+        res = Evaluator(test_split.ground_truth).evaluate(verdicts)
+        assert res.metrics.recall > 80.0
+        # Near-miss chains carry Error phrases, so FP rate must be high.
+        assert res.metrics.fp_rate > 25.0

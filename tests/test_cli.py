@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, save_model, load_predictor
+from repro.config import DeshConfig
+from repro.io import load_ground_truth, read_records, write_log
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--system", "M2", "--seed", "5", "--out", "x.log"]
+        )
+        assert args.system == "M2"
+        assert args.seed == 5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestGenerateCommand:
+    def test_writes_log_and_ground_truth(self, tmp_path):
+        out = tmp_path / "m4.log.gz"
+        gt = tmp_path / "m4.json"
+        code = main(
+            [
+                "generate",
+                "--system",
+                "M4",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+                "--ground-truth",
+                str(gt),
+            ]
+        )
+        assert code == 0
+        records = list(read_records(out))
+        assert records
+        truth = load_ground_truth(gt)
+        assert truth.failures
+
+
+class TestModelPersistence:
+    def test_save_and_load_predictor(self, trained_model, tmp_path):
+        save_model(trained_model, tmp_path / "model")
+        assert (tmp_path / "model" / "phase2.npz").exists()
+        assert (tmp_path / "model" / "vocab.json").exists()
+        meta = json.loads((tmp_path / "model" / "meta.json").read_text())
+        assert meta["vocab_size"] == trained_model.phase2.scaler.vocab_size
+
+        parser, predictor = load_predictor(tmp_path / "model", DeshConfig())
+        assert predictor.scaler.max_lead_seconds == (
+            trained_model.phase2.scaler.max_lead_seconds
+        )
+
+    def test_loaded_predictor_matches_original(
+        self, trained_model, test_split, tmp_path
+    ):
+        """Verdicts from the persisted model agree with the live one."""
+        save_model(trained_model, tmp_path / "model")
+        _, predictor = load_predictor(tmp_path / "model", trained_model.config)
+        parsed = trained_model.parse(test_split.records)
+        sequences = [
+            s for s in parsed.by_node().values() if s.node is not None
+        ]
+        live = trained_model.predictor.predict_sequences(sequences)
+        loaded = predictor.predict_sequences(sequences)
+        assert [(v.flagged, round(v.mse, 9)) for v in live] == [
+            (v.flagged, round(v.mse, 9)) for v in loaded
+        ]
+
+
+class TestTrainPredictRoundTrip:
+    def test_train_then_predict(self, small_log, tmp_path, capsys, monkeypatch):
+        """The CLI train/predict flow runs end to end on a real file."""
+        log_path = tmp_path / "train.log.gz"
+        train, test = small_log.split(0.3)
+        write_log(log_path, train.records)
+        test_path = tmp_path / "test.log.gz"
+        write_log(test_path, test.records)
+
+        # Speed: shrink the default config for the CLI invocation.
+        from repro import config as config_mod
+        from repro.config import (
+            DeshConfig,
+            EmbeddingConfig,
+            Phase1Config,
+            Phase2Config,
+        )
+
+        small_cfg = DeshConfig(
+            embedding=EmbeddingConfig(dim=12, epochs=1),
+            phase1=Phase1Config(hidden_size=16, epochs=1, batch_size=128),
+            phase2=Phase2Config(hidden_size=32, epochs=120, learning_rate=0.01),
+            seed=7,
+        )
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "DeshConfig", lambda **kw: small_cfg)
+
+        assert (
+            main(
+                [
+                    "train",
+                    "--log",
+                    str(log_path),
+                    "--model-dir",
+                    str(tmp_path / "model"),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "predict",
+                    "--log",
+                    str(test_path),
+                    "--model-dir",
+                    str(tmp_path / "model"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "is expected to fail" in out
+
+    def test_train_rejects_bad_fraction(self, small_log, tmp_path):
+        log_path = tmp_path / "t.log"
+        write_log(log_path, small_log.records[:100])
+        code = main(
+            [
+                "train",
+                "--log",
+                str(log_path),
+                "--fraction",
+                "2.0",
+                "--model-dir",
+                str(tmp_path / "m"),
+            ]
+        )
+        assert code == 2

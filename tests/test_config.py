@@ -1,0 +1,126 @@
+"""Tests for configuration dataclasses (Table 5 defaults + validation)."""
+
+import pytest
+
+from repro.config import (
+    DeshConfig,
+    EmbeddingConfig,
+    Phase1Config,
+    Phase2Config,
+    Phase3Config,
+)
+from repro.errors import ConfigError
+
+
+class TestTable5Defaults:
+    """The defaults must match the paper's Table 5 specification."""
+
+    def test_phase1_hidden_layers(self):
+        assert Phase1Config().hidden_layers == 2
+
+    def test_phase1_steps(self):
+        assert Phase1Config().prediction_steps == 3
+
+    def test_phase1_history(self):
+        assert Phase1Config().history_size == 8
+
+    def test_phase2_hidden_layers(self):
+        assert Phase2Config().hidden_layers == 2
+
+    def test_phase2_steps(self):
+        assert Phase2Config().prediction_steps == 1
+
+    def test_phase2_history(self):
+        assert Phase2Config().history_size == 5
+
+    def test_phase3_history(self):
+        assert Phase3Config().history_size == 5
+
+    def test_embedding_windows_8_left_3_right(self):
+        cfg = EmbeddingConfig()
+        assert (cfg.window_left, cfg.window_right) == (8, 3)
+
+    def test_train_fraction_30_percent(self):
+        assert DeshConfig().train_fraction == pytest.approx(0.30)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 0},
+            {"window_left": -1},
+            {"negatives": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 0.001, "min_learning_rate": 0.01},
+        ],
+    )
+    def test_embedding_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            EmbeddingConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_size": 0},
+            {"history_size": 0},
+            {"prediction_steps": 0},
+            {"epochs": -1},
+            {"grad_clip": 0.0},
+        ],
+    )
+    def test_phase1_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            Phase1Config(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rho": 0.0},
+            {"rho": 1.0},
+            {"max_lead_seconds": 0.0},
+            {"corrupt_prob": 1.0},
+            {"corrupt_prob": -0.1},
+        ],
+    )
+    def test_phase2_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            Phase2Config(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mse_threshold": 0.0},
+            {"min_chain_events": 0},
+            {"confirmation_windows": 0},
+            {"max_suffix_skip": -1},
+        ],
+    )
+    def test_phase3_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            Phase3Config(**kwargs)
+
+    def test_phase3_allows_flag_position_zero(self):
+        assert Phase3Config(flag_position=0).flag_position == 0
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 2.0])
+    def test_desh_rejects_bad_fraction(self, fraction):
+        with pytest.raises(ConfigError):
+            DeshConfig(train_fraction=fraction)
+
+
+class TestReplace:
+    def test_replace_returns_copy(self):
+        base = DeshConfig()
+        other = base.replace(seed=99)
+        assert other.seed == 99
+        assert base.seed != 99
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            DeshConfig().seed = 1  # type: ignore[misc]
+
+    def test_phase2_augmentation_defaults(self):
+        cfg = Phase2Config()
+        assert cfg.augment_copies >= 1
+        assert 0.0 <= cfg.corrupt_prob < 1.0

@@ -1,0 +1,195 @@
+"""Tests for failure-chain extraction and episode segmentation."""
+
+import pytest
+
+from repro.core.chains import ChainExtractor, Episode, FailureChain, segment_episodes
+from repro.errors import ChainExtractionError
+from repro.events import EventSequence, Label, ParsedEvent
+from repro.topology import CrayNodeId
+
+NODE = CrayNodeId(0, 0, 0, 0, 0)
+NODE2 = CrayNodeId(0, 0, 0, 0, 1)
+
+
+def ev(t, pid, label=Label.UNKNOWN, terminal=False, node=NODE):
+    return ParsedEvent(
+        timestamp=t, phrase_id=pid, node=node, label=label, terminal=terminal
+    )
+
+
+def seq(*events, node=NODE):
+    return EventSequence(node, events)
+
+
+class TestFailureChain:
+    def test_valid_chain(self):
+        chain = FailureChain(
+            NODE,
+            (ev(0, 1), ev(5, 2, Label.ERROR), ev(9, 3, Label.ERROR, terminal=True)),
+        )
+        assert chain.lead_time == 9.0
+        assert chain.terminal_time == 9.0
+        assert len(chain) == 3
+
+    def test_requires_terminal_last(self):
+        with pytest.raises(ChainExtractionError):
+            FailureChain(NODE, (ev(0, 1), ev(5, 2)))
+
+    def test_requires_two_events(self):
+        with pytest.raises(ChainExtractionError):
+            FailureChain(NODE, (ev(0, 1, terminal=True, label=Label.ERROR),))
+
+    def test_rejects_safe_members(self):
+        with pytest.raises(ChainExtractionError):
+            FailureChain(
+                NODE,
+                (ev(0, 1, Label.SAFE), ev(5, 2, Label.ERROR, terminal=True)),
+            )
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ChainExtractionError):
+            FailureChain(
+                NODE, (ev(5, 1), ev(0, 2, Label.ERROR, terminal=True))
+            )
+
+    def test_arrays(self):
+        chain = FailureChain(
+            NODE, (ev(1, 7), ev(2, 8, Label.ERROR, terminal=True))
+        )
+        assert chain.phrase_ids().tolist() == [7, 8]
+        assert chain.timestamps().tolist() == [1.0, 2.0]
+
+
+class TestChainExtractor:
+    def test_extracts_window(self):
+        s = seq(
+            ev(0, 1),
+            ev(100, 2),
+            ev(650, 3),  # within lookback 600 of terminal at 700
+            ev(700, 9, Label.ERROR, terminal=True),
+        )
+        chains = ChainExtractor(lookback=600.0).extract([s])
+        assert len(chains) == 1
+        assert chains[0].phrase_ids().tolist() == [2, 3, 9]  # event at 0 excluded
+
+    def test_safe_events_ignored(self):
+        s = seq(
+            ev(10, 1),
+            ev(20, 2, Label.SAFE),
+            ev(30, 9, Label.ERROR, terminal=True),
+        )
+        chains = ChainExtractor().extract([s])
+        assert chains[0].phrase_ids().tolist() == [1, 9]
+
+    def test_min_events_filter(self):
+        s = seq(ev(30, 9, Label.ERROR, terminal=True))
+        assert ChainExtractor(min_events=2).extract([s]) == []
+
+    def test_two_terminals_two_chains(self):
+        s = seq(
+            ev(10, 1),
+            ev(20, 9, Label.ERROR, terminal=True),
+            ev(1000, 2),
+            ev(1010, 9, Label.ERROR, terminal=True),
+        )
+        chains = ChainExtractor().extract([s])
+        assert len(chains) == 2
+        # The first terminal must not appear in the second chain.
+        assert chains[1].phrase_ids().tolist() == [2, 9]
+
+    def test_maintenance_mass_shutdown_filtered(self, small_topology):
+        nodes = small_topology.node_list()[:6]
+        sequences = []
+        for node in nodes:
+            sequences.append(
+                seq(
+                    ev(90, 1, node=node),
+                    ev(100, 9, Label.ERROR, terminal=True, node=node),
+                    node=node,
+                )
+            )
+        extractor = ChainExtractor(mass_threshold=5, mass_window=60.0)
+        assert extractor.extract(sequences) == []
+
+    def test_isolated_failures_not_filtered(self, small_topology):
+        nodes = small_topology.node_list()[:3]
+        sequences = [
+            seq(
+                ev(100 + i * 500, 1, node=node),
+                ev(110 + i * 500, 9, Label.ERROR, terminal=True, node=node),
+                node=node,
+            )
+            for i, node in enumerate(nodes)
+        ]
+        extractor = ChainExtractor(mass_threshold=3, mass_window=60.0)
+        assert len(extractor.extract(sequences)) == 3
+
+    def test_chains_sorted_by_terminal_time(self):
+        s1 = seq(ev(500, 1), ev(510, 9, Label.ERROR, terminal=True))
+        s2 = seq(
+            ev(10, 1, node=NODE2),
+            ev(20, 9, Label.ERROR, terminal=True, node=NODE2),
+            node=NODE2,
+        )
+        chains = ChainExtractor().extract([s1, s2])
+        assert chains[0].terminal_time < chains[1].terminal_time
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lookback": 0.0},
+            {"mass_window": -1.0},
+            {"mass_threshold": 1},
+            {"min_events": 1},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ChainExtractionError):
+            ChainExtractor(**kwargs)
+
+
+class TestSegmentEpisodes:
+    def test_gap_splits(self):
+        s = seq(ev(0, 1), ev(10, 2), ev(2000, 3), ev(2010, 4))
+        episodes = segment_episodes(s, gap=600.0, min_events=2)
+        assert len(episodes) == 2
+        assert episodes[0].phrase_ids().tolist() == [1, 2]
+        assert episodes[1].phrase_ids().tolist() == [3, 4]
+
+    def test_terminal_closes_episode(self):
+        s = seq(
+            ev(0, 1),
+            ev(10, 9, Label.ERROR, terminal=True),
+            ev(20, 2),
+            ev(30, 3),
+        )
+        episodes = segment_episodes(s, gap=600.0, min_events=2)
+        assert len(episodes) == 2
+        assert episodes[0].ends_in_terminal
+        assert not episodes[1].ends_in_terminal
+
+    def test_min_events_drops_singletons(self):
+        s = seq(ev(0, 1), ev(5000, 2))
+        assert segment_episodes(s, gap=600.0, min_events=2) == []
+
+    def test_safe_events_excluded(self):
+        s = seq(ev(0, 1), ev(5, 2, Label.SAFE), ev(10, 3))
+        episodes = segment_episodes(s, gap=600.0, min_events=2)
+        assert episodes[0].phrase_ids().tolist() == [1, 3]
+
+    def test_episode_time_span(self):
+        s = seq(ev(5, 1), ev(25, 2))
+        ep = segment_episodes(s, gap=600.0)[0]
+        assert ep.start_time == 5.0
+        assert ep.end_time == 25.0
+
+    def test_rejects_bad_params(self):
+        s = seq(ev(0, 1))
+        with pytest.raises(ChainExtractionError):
+            segment_episodes(s, gap=0.0)
+        with pytest.raises(ChainExtractionError):
+            segment_episodes(s, min_events=0)
+
+    def test_empty_episode_rejected(self):
+        with pytest.raises(ChainExtractionError):
+            Episode(NODE, ())

@@ -1,0 +1,96 @@
+"""End-to-end tests for the Desh facade and alerts."""
+
+import pytest
+
+from repro.core import Desh, FailureWarning
+from repro.core.phase3 import FailurePrediction
+from repro.errors import TrainingError
+from repro.topology import CrayNodeId
+
+
+class TestDeshFit:
+    def test_model_has_phrases_and_chains(self, trained_model):
+        assert trained_model.num_phrases > 20
+        assert trained_model.num_chains > 0
+
+    def test_fit_empty_raises(self, mini_config):
+        with pytest.raises(TrainingError):
+            Desh(mini_config).fit([])
+
+    def test_fit_without_failures_raises(self, small_log, mini_config):
+        """Training data with no failure chains must fail loudly."""
+        quiet = [
+            r
+            for r in small_log.records
+            if "cb_node_unavailable" not in r.message
+            and "shutdown in progress" not in r.message
+        ][:400]
+        with pytest.raises(TrainingError):
+            Desh(mini_config).fit(quiet)
+
+
+class TestDeshPredict:
+    def test_score_returns_verdicts(self, trained_model, test_split):
+        verdicts = trained_model.score(test_split.records)
+        assert verdicts
+        assert any(v.flagged for v in verdicts)
+
+    def test_predict_returns_only_flagged(self, trained_model, test_split):
+        preds = trained_model.predict(test_split.records)
+        verdicts = trained_model.score(test_split.records)
+        assert len(preds) == sum(v.flagged for v in verdicts)
+
+    def test_predictions_find_real_failures(self, trained_model, test_split):
+        """At least half the test failures must be predicted (mini config)."""
+        preds = trained_model.predict(test_split.records)
+        gt = test_split.ground_truth
+        hits = sum(
+            1
+            for p in preds
+            if gt.failure_near(p.node, p.decision_time, lookahead=700.0)
+        )
+        assert hits >= len(gt.failures) * 0.5
+
+    def test_warnings_render_messages(self, trained_model, test_split):
+        warnings = trained_model.warn(test_split.records)
+        assert warnings
+        for w in warnings[:5]:
+            msg = w.message()
+            assert "is expected to fail" in msg
+            assert str(w.node) in msg
+
+    def test_parse_uses_trained_vocabulary(self, trained_model, test_split):
+        parsed = trained_model.parse(test_split.records)
+        assert len(parsed) > 0
+
+
+class TestFailureWarning:
+    def test_message_format(self):
+        w = FailureWarning(CrayNodeId(1, 0, 2, 5, 3), 0.0, 150.0, 0.1)
+        assert w.message() == (
+            "In 2.5 minutes, node c1-0c2s5n3 located at cabinet c1-0, "
+            "chassis 2, blade 5, node 3 is expected to fail."
+        )
+
+    def test_lead_minutes(self):
+        w = FailureWarning(CrayNodeId(0, 0, 0, 0, 0), 0.0, 90.0, 0.0)
+        assert w.lead_minutes == pytest.approx(1.5)
+
+    def test_system_level_warning(self):
+        w = FailureWarning(None, 0.0, 60.0, 0.0)
+        assert "system-level" in w.message()
+
+    def test_from_prediction(self):
+        p = FailurePrediction(
+            node=CrayNodeId(0, 0, 0, 0, 0),
+            decision_time=10.0,
+            lead_seconds=120.0,
+            mse=0.2,
+        )
+        w = FailureWarning.from_prediction(p)
+        assert w.node == p.node
+        assert w.lead_seconds == 120.0
+
+    def test_str_is_message(self):
+        w = FailureWarning(CrayNodeId(0, 0, 0, 0, 0), 0.0, 60.0, 0.0)
+        assert str(w) == w.message()

@@ -1,0 +1,80 @@
+"""Tests for the streaming failure monitor."""
+
+import pytest
+
+from repro.core import StreamingMonitor
+from repro.simlog.record import LogRecord
+from repro.topology import CrayNodeId
+
+
+@pytest.fixture
+def monitor(trained_model):
+    return StreamingMonitor(trained_model)
+
+
+class TestStreamingMonitor:
+    def test_warns_on_real_failures(self, monitor, test_split):
+        warnings = list(monitor.run(test_split.records))
+        assert warnings
+        gt = test_split.ground_truth
+        confirmed = sum(
+            1
+            for w in warnings
+            if gt.failure_near(w.node, w.decision_time, lookahead=700.0)
+        )
+        assert confirmed >= len(gt.failures) * 0.3
+
+    def test_counts_records_and_warnings(self, monitor, test_split):
+        warnings = list(monitor.run(test_split.records))
+        assert monitor.records_seen == len(test_split.records)
+        assert monitor.warnings_raised == len(warnings)
+
+    def test_at_most_one_alert_per_episode(self, monitor, test_split):
+        """No duplicate alerts for a single node episode."""
+        warnings = list(monitor.run(test_split.records))
+        keyed = [(str(w.node), round(w.decision_time // 600)) for w in warnings]
+        # Two alerts for the same node within the same 10-minute window
+        # would indicate episode-level alert spam.
+        assert len(keyed) == len(set(keyed))
+
+    def test_safe_records_never_alert(self, monitor, small_log):
+        safe = [
+            r
+            for r in small_log.records[:300]
+            if "Wait4Boot" in r.message or "session opened" in r.message
+        ]
+        assert all(monitor.feed(r) is None for r in safe)
+
+    def test_unknown_message_ignored(self, monitor):
+        record = LogRecord(
+            1.0,
+            CrayNodeId(0, 0, 0, 0, 0),
+            "kernel",
+            "never seen message family xyz qqq",
+        )
+        assert monitor.feed(record) is None
+
+    def test_system_records_ignored(self, monitor, small_log):
+        record = LogRecord(1.0, None, "erd", small_log.records[0].message)
+        assert monitor.feed(record) is None
+
+    def test_pending_nodes_tracks_open_episodes(self, monitor, test_split):
+        for record in test_split.records[:2000]:
+            monitor.feed(record)
+        pending = monitor.pending_nodes()
+        assert isinstance(pending, list)
+
+    def test_reset_clears_state(self, monitor, test_split):
+        for record in test_split.records[:2000]:
+            monitor.feed(record)
+        monitor.reset()
+        assert monitor.pending_nodes() == []
+
+    def test_gap_closes_episode(self, trained_model, test_split):
+        """After a long quiet period a node can alert again."""
+        monitor = StreamingMonitor(trained_model, episode_gap=600.0)
+        warnings = list(monitor.run(test_split.records))
+        nodes = [str(w.node) for w in warnings]
+        # With many failures per node over the horizon, repeated alerts
+        # for one node across distinct episodes are expected.
+        assert len(nodes) >= len(set(nodes))

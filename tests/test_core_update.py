@@ -1,0 +1,76 @@
+"""Tests for the incremental model update extension."""
+
+import pytest
+
+
+class TestIncrementalUpdate:
+    @pytest.fixture
+    def fresh_model(self, small_log, mini_config):
+        """A model trained only on the first 30%, rebuilt per test
+        (update mutates the model in place)."""
+        from repro.core import Desh
+
+        train, _ = small_log.split(0.3)
+        return Desh(mini_config).fit(list(train.records), train_classifier=False)
+
+    def test_update_learns_new_chains(self, fresh_model, small_log):
+        _, test = small_log.split(0.3)
+        # Feed the first half of the test window as "newly observed" data.
+        mid = [
+            r
+            for r in test.records
+            if r.timestamp < small_log.config.horizon * 0.6
+        ]
+        before = fresh_model.num_chains
+        added = fresh_model.update(mid, epochs=10)
+        assert added > 0
+        assert fresh_model.num_chains == before + added
+        assert fresh_model.phase2.num_chains == fresh_model.num_chains
+
+    def test_update_without_failures_is_noop(self, fresh_model, small_log):
+        quiet = [
+            r
+            for r in small_log.records[:300]
+            if "cb_node_unavailable" not in r.message
+            and "shutdown in progress" not in r.message
+        ]
+        before = fresh_model.num_chains
+        assert fresh_model.update(quiet, epochs=5) == 0
+        assert fresh_model.num_chains == before
+
+    def test_update_does_not_break_prediction(self, fresh_model, small_log):
+        _, test = small_log.split(0.3)
+        mid_cut = small_log.config.horizon * 0.6
+        mid = [r for r in test.records if r.timestamp < mid_cut]
+        late = [r for r in test.records if r.timestamp >= mid_cut]
+        fresh_model.update(mid, epochs=10)
+        verdicts = fresh_model.score(late)
+        assert verdicts
+        assert any(v.flagged for v in verdicts)
+
+    def test_update_improves_or_holds_recall_on_new_window(
+        self, fresh_model, small_log
+    ):
+        """After absorbing the mid window, late-window recall must not
+        collapse (warm-started training keeps the old chains)."""
+        from repro.analysis import Evaluator
+        from repro.simlog.generator import GroundTruth
+
+        _, test = small_log.split(0.3)
+        mid_cut = small_log.config.horizon * 0.6
+        late = [r for r in test.records if r.timestamp >= mid_cut]
+        late_truth = GroundTruth(
+            failures=[
+                f
+                for f in test.ground_truth.failures
+                if f.terminal_time >= mid_cut
+            ],
+            near_misses=[
+                m for m in test.ground_truth.near_misses if m.end_time >= mid_cut
+            ],
+        )
+        before = Evaluator(late_truth).evaluate(fresh_model.score(late))
+        mid = [r for r in test.records if r.timestamp < mid_cut]
+        fresh_model.update(mid, epochs=20)
+        after = Evaluator(late_truth).evaluate(fresh_model.score(late))
+        assert after.metrics.recall >= before.metrics.recall - 15.0

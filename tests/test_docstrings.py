@@ -1,0 +1,56 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"module {module.__name__} lacks a docstring"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                func = member
+                if isinstance(member, (staticmethod, classmethod)):
+                    func = member.__func__
+                if isinstance(member, property):
+                    func = member.fget
+                if not inspect.isfunction(func):
+                    continue
+                if not (func.__doc__ and func.__doc__.strip()):
+                    undocumented.append(f"{name}.{mname}")
+    assert not undocumented, (
+        f"{module.__name__}: missing docstrings on {sorted(undocumented)}"
+    )

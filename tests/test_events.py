@@ -1,0 +1,97 @@
+"""Tests for the shared event containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChainExtractionError
+from repro.events import EventSequence, Label, ParsedEvent, group_by_node
+from repro.topology import CrayNodeId
+
+NODE = CrayNodeId(0, 0, 0, 0, 0)
+OTHER = CrayNodeId(0, 0, 0, 0, 1)
+
+
+def ev(t, pid=0, node=NODE, label=Label.UNKNOWN, terminal=False):
+    return ParsedEvent(
+        timestamp=t, phrase_id=pid, node=node, label=label, terminal=terminal
+    )
+
+
+class TestParsedEvent:
+    def test_rejects_bad_label(self):
+        with pytest.raises(ChainExtractionError):
+            ParsedEvent(timestamp=0.0, phrase_id=0, label="bogus")
+
+    def test_rejects_negative_phrase_id(self):
+        with pytest.raises(ChainExtractionError):
+            ParsedEvent(timestamp=0.0, phrase_id=-1)
+
+    def test_ordering_by_time_then_phrase(self):
+        a = ev(1.0, pid=5)
+        b = ev(2.0, pid=1)
+        c = ev(1.0, pid=2)
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_default_label_is_unknown(self):
+        assert ParsedEvent(timestamp=0.0, phrase_id=0).label == Label.UNKNOWN
+
+
+class TestEventSequence:
+    def test_sorts_on_construction(self):
+        seq = EventSequence(NODE, [ev(5.0), ev(1.0), ev(3.0)])
+        assert [e.timestamp for e in seq] == [1.0, 3.0, 5.0]
+
+    def test_rejects_foreign_node_events(self):
+        with pytest.raises(ChainExtractionError):
+            EventSequence(NODE, [ev(0.0, node=OTHER)])
+
+    def test_phrase_ids_array(self):
+        seq = EventSequence(NODE, [ev(0.0, pid=3), ev(1.0, pid=7)])
+        ids = seq.phrase_ids()
+        assert ids.dtype == np.int64
+        assert ids.tolist() == [3, 7]
+
+    def test_arrays_are_cached(self):
+        seq = EventSequence(NODE, [ev(0.0), ev(1.0)])
+        assert seq.phrase_ids() is seq.phrase_ids()
+        assert seq.timestamps() is seq.timestamps()
+
+    def test_without_safe(self):
+        seq = EventSequence(
+            NODE, [ev(0.0, label=Label.SAFE), ev(1.0), ev(2.0, label=Label.ERROR)]
+        )
+        filtered = seq.without_safe()
+        assert len(filtered) == 2
+        assert all(e.label != Label.SAFE for e in filtered)
+
+    def test_terminals_indices(self):
+        seq = EventSequence(
+            NODE,
+            [ev(0.0), ev(1.0, label=Label.ERROR, terminal=True), ev(2.0)],
+        )
+        assert seq.terminals() == [1]
+
+    def test_indexing(self):
+        seq = EventSequence(NODE, [ev(0.0, pid=1), ev(1.0, pid=2)])
+        assert seq[1].phrase_id == 2
+
+    def test_len(self):
+        assert len(EventSequence(NODE, [])) == 0
+
+
+class TestGroupByNode:
+    def test_partitions(self):
+        events = [ev(0.0), ev(1.0, node=OTHER), ev(2.0), ev(3.0, node=None)]
+        groups = group_by_node(events)
+        assert set(groups) == {NODE, OTHER, None}
+        assert len(groups[NODE]) == 2
+        assert len(groups[OTHER]) == 1
+        assert len(groups[None]) == 1
+
+    def test_empty(self):
+        assert group_by_node([]) == {}
+
+    def test_groups_are_sorted(self):
+        events = [ev(5.0), ev(1.0)]
+        groups = group_by_node(events)
+        assert [e.timestamp for e in groups[NODE]] == [1.0, 5.0]

@@ -1,0 +1,70 @@
+"""Smoke tests for the example scripts.
+
+Full example runs train real models (minutes); these tests verify the
+scripts are importable (no syntax/rename drift against the library) and
+that the live-monitor's streaming logic works against the session model.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "live_monitor",
+        "unknown_phrase_report",
+        "baseline_comparison",
+        "train_four_systems",
+        "cascade_quarantine",
+        "generate_report",
+    ],
+)
+def test_example_imports(name):
+    module = load_example(name)
+    assert hasattr(module, "main")
+
+
+class TestLiveMonitor:
+    def test_streaming_monitor_raises_warnings(self, trained_model, test_split):
+        module = load_example("live_monitor")
+        monitor = module.LiveMonitor(trained_model)
+        warnings = []
+        for record in test_split.records:
+            w = monitor.feed(record)
+            if w is not None:
+                warnings.append(w)
+        assert warnings, "the monitor must raise at least one warning"
+        # One alert per node episode: no duplicate spam for one episode.
+        gt = test_split.ground_truth
+        confirmed = sum(
+            1
+            for w in warnings
+            if gt.failure_near(w.node, w.decision_time, lookahead=700.0)
+        )
+        assert confirmed >= len(gt.failures) * 0.3
+
+    def test_monitor_ignores_safe_records(self, trained_model, small_log):
+        module = load_example("live_monitor")
+        monitor = module.LiveMonitor(trained_model)
+        safe = [
+            r
+            for r in small_log.records[:200]
+            if "Wait4Boot" in r.message or "session opened" in r.message
+        ]
+        for record in safe:
+            assert monitor.feed(record) is None

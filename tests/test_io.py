@@ -1,0 +1,123 @@
+"""Tests for log-file IO and dataset management."""
+
+import pytest
+
+from repro.errors import DatasetError, ParseError, SerializationError
+from repro.io import (
+    chronological_split,
+    iter_lines,
+    load_ground_truth,
+    read_records,
+    save_ground_truth,
+    write_log,
+)
+from repro.simlog.record import LogRecord
+from repro.topology import CrayNodeId
+
+NODE = CrayNodeId(0, 0, 0, 0, 0)
+
+
+@pytest.fixture
+def records():
+    return [
+        LogRecord(float(i * 10), NODE, "kernel", f"message number {i}")
+        for i in range(20)
+    ]
+
+
+class TestLogFile:
+    def test_write_read_round_trip(self, records, tmp_path):
+        path = tmp_path / "log.txt"
+        count = write_log(path, records)
+        assert count == 20
+        loaded = list(read_records(path))
+        assert loaded == records
+
+    def test_gzip_round_trip(self, records, tmp_path):
+        path = tmp_path / "log.txt.gz"
+        write_log(path, records)
+        assert list(read_records(path)) == records
+        # really compressed: gzip magic bytes
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_iter_lines_skips_blank(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text("line one\n\nline two\n")
+        assert list(iter_lines(path)) == ["line one", "line two"]
+
+    def test_strict_mode_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("garbage line\n")
+        with pytest.raises(ParseError, match="bad.txt:1"):
+            list(read_records(path))
+
+    def test_lenient_mode_skips(self, records, tmp_path):
+        path = tmp_path / "mixed.txt"
+        from repro.simlog.record import render_line
+
+        path.write_text("garbage\n" + render_line(records[0]) + "\n")
+        loaded = list(read_records(path, strict=False))
+        assert loaded == [records[0]]
+
+    def test_round_trip_generated_log(self, small_log, tmp_path):
+        path = tmp_path / "system.log"
+        subset = list(small_log.records[:300])
+        write_log(path, subset)
+        assert list(read_records(path)) == subset
+
+
+class TestChronologicalSplit:
+    def test_split_by_time_not_count(self):
+        # 9 early records, 1 late: a 50% time split puts 9 in train.
+        recs = [LogRecord(float(i), NODE, "k", "m") for i in range(9)]
+        recs.append(LogRecord(1000.0, NODE, "k", "m"))
+        train, test = chronological_split(recs, 0.5)
+        assert len(train) == 9
+        assert len(test) == 1
+
+    def test_no_overlap(self, records):
+        train, test = chronological_split(records, 0.3)
+        assert len(train) + len(test) == len(records)
+        assert max(r.timestamp for r in train) < min(r.timestamp for r in test)
+
+    def test_unsorted_input_handled(self, records):
+        shuffled = list(reversed(records))
+        train, test = chronological_split(shuffled, 0.3)
+        assert max(r.timestamp for r in train) < min(r.timestamp for r in test)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            chronological_split([], 0.3)
+
+    def test_rejects_bad_fraction(self, records):
+        with pytest.raises(DatasetError):
+            chronological_split(records, 1.0)
+
+
+class TestGroundTruthPersistence:
+    def test_round_trip(self, small_log, tmp_path):
+        path = tmp_path / "gt.json"
+        save_ground_truth(path, small_log.ground_truth)
+        loaded = load_ground_truth(path)
+        original = small_log.ground_truth
+        assert loaded.summary() == original.summary()
+        assert loaded.failures[0] == original.failures[0]
+        assert loaded.near_misses[0] == original.near_misses[0]
+        assert loaded.maintenance[0].nodes == original.maintenance[0].nodes
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_ground_truth(tmp_path / "missing.json")
+
+    def test_load_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"failures": [{"bogus": 1}]}')
+        with pytest.raises(SerializationError):
+            load_ground_truth(path)
+
+    def test_loaded_failures_sorted(self, small_log, tmp_path):
+        path = tmp_path / "gt.json"
+        save_ground_truth(path, small_log.ground_truth)
+        loaded = load_ground_truth(path)
+        times = [f.terminal_time for f in loaded.failures]
+        assert times == sorted(times)

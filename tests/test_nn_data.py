@@ -1,0 +1,164 @@
+"""Tests for windowing and batching utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.data import (
+    batch_iterator,
+    multi_step_targets,
+    sliding_windows,
+    sliding_windows_continuous,
+    windows_from_sequences,
+)
+
+
+class TestSlidingWindows:
+    def test_basic(self):
+        x, y = sliding_windows(np.arange(6), history=3, steps=1)
+        assert x.shape == (3, 3)
+        assert np.array_equal(x[0], [0, 1, 2])
+        assert np.array_equal(y[:, 0], [3, 4, 5])
+
+    def test_multi_step(self):
+        x, y = sliding_windows(np.arange(8), history=3, steps=2)
+        assert y.shape == (4, 2)
+        assert np.array_equal(y[0], [3, 4])
+
+    def test_short_sequence_empty(self):
+        x, y = sliding_windows(np.arange(3), history=3, steps=1)
+        assert len(x) == 0 and len(y) == 0
+
+    def test_exact_length_one_window(self):
+        x, y = sliding_windows(np.arange(4), history=3, steps=1)
+        assert len(x) == 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            sliding_windows(np.ones((3, 2)), 2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ShapeError):
+            sliding_windows(np.arange(5), history=0)
+
+    @given(
+        st.integers(1, 40).flatmap(
+            lambda n: st.tuples(
+                st.just(np.arange(n)), st.integers(1, 6), st.integers(1, 4)
+            )
+        )
+    )
+    def test_property_window_count(self, args):
+        seq, history, steps = args
+        x, y = sliding_windows(seq, history, steps)
+        expected = max(0, len(seq) - history - steps + 1)
+        assert len(x) == expected == len(y)
+
+    @given(st.integers(5, 30), st.integers(1, 4))
+    def test_property_windows_are_contiguous(self, n, history):
+        seq = np.arange(n)
+        x, y = sliding_windows(seq, history, 1)
+        for i in range(len(x)):
+            assert np.array_equal(x[i], seq[i : i + history])
+            assert y[i, 0] == seq[i + history]
+
+
+class TestSlidingWindowsContinuous:
+    def test_shapes(self):
+        seq = np.arange(20, dtype=float).reshape(10, 2)
+        x, y = sliding_windows_continuous(seq, history=4, steps=1)
+        assert x.shape == (6, 4, 2)
+        assert y.shape == (6, 1, 2)
+
+    def test_values(self):
+        seq = np.arange(10, dtype=float).reshape(5, 2)
+        x, y = sliding_windows_continuous(seq, history=2, steps=1)
+        assert np.array_equal(x[0], seq[:2])
+        assert np.array_equal(y[0, 0], seq[2])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            sliding_windows_continuous(np.arange(5), 2)
+
+
+class TestMultiStepTargets:
+    def test_split(self):
+        y = np.arange(6).reshape(3, 2)
+        cols = multi_step_targets(y, 2)
+        assert len(cols) == 2
+        assert np.array_equal(cols[0], [0, 2, 4])
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ShapeError):
+            multi_step_targets(np.ones((3, 2)), 3)
+
+
+class TestWindowsFromSequences:
+    def test_never_crosses_boundaries(self):
+        """Windows must not mix events of different nodes."""
+        a = np.zeros(10, dtype=int)
+        b = np.ones(10, dtype=int)
+        x, _ = windows_from_sequences([a, b], history=4, steps=1)
+        for w in x:
+            assert len(np.unique(w)) == 1
+
+    def test_pools_all_sequences(self):
+        x, _ = windows_from_sequences(
+            [np.arange(10), np.arange(8)], history=3, steps=1
+        )
+        assert len(x) == (10 - 3) + (8 - 3)
+
+    def test_skips_short_sequences(self):
+        x, _ = windows_from_sequences([np.arange(10), np.arange(2)], history=3)
+        assert len(x) == 7
+
+    def test_all_short_returns_empty(self):
+        x, y = windows_from_sequences([np.arange(2)], history=5)
+        assert len(x) == 0
+
+    def test_continuous_sequences(self):
+        seqs = [np.ones((10, 2)), np.zeros((6, 2))]
+        x, y = windows_from_sequences(seqs, history=3, steps=1)
+        assert x.shape[1:] == (3, 2)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ShapeError):
+            windows_from_sequences([], history=3)
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ShapeError):
+            windows_from_sequences([np.arange(5), np.ones((5, 2))], history=2)
+
+
+class TestBatchIterator:
+    def test_covers_all_indices(self):
+        seen = np.concatenate(list(batch_iterator(10, 3)))
+        assert sorted(seen.tolist()) == list(range(10))
+
+    def test_unshuffled_is_ordered(self):
+        batches = list(batch_iterator(6, 2))
+        assert np.array_equal(np.concatenate(batches), np.arange(6))
+
+    def test_shuffled_differs_but_covers(self, rng):
+        seen = np.concatenate(list(batch_iterator(100, 10, rng)))
+        assert sorted(seen.tolist()) == list(range(100))
+        assert not np.array_equal(seen, np.arange(100))
+
+    def test_shuffle_deterministic_per_seed(self):
+        a = np.concatenate(list(batch_iterator(50, 7, np.random.default_rng(3))))
+        b = np.concatenate(list(batch_iterator(50, 7, np.random.default_rng(3))))
+        assert np.array_equal(a, b)
+
+    def test_last_batch_may_be_short(self):
+        sizes = [len(b) for b in batch_iterator(10, 4)]
+        assert sizes == [4, 4, 2]
+
+    def test_zero_items(self):
+        assert list(batch_iterator(0, 4)) == []
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ShapeError):
+            list(batch_iterator(-1, 4))
+        with pytest.raises(ShapeError):
+            list(batch_iterator(4, 0))

@@ -1,0 +1,148 @@
+"""Tests for Dense and Embedding layers, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.initializers import glorot_uniform, orthogonal, zeros
+from repro.nn.layers import Dense, Embedding
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f with respect to array x."""
+    g = np.zeros_like(x)
+    flat_x, flat_g = x.reshape(-1), g.reshape(-1)
+    for i in range(flat_x.size):
+        old = flat_x[i]
+        flat_x[i] = old + eps
+        hi = f()
+        flat_x[i] = old - eps
+        lo = f()
+        flat_x[i] = old
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        w = glorot_uniform(rng, 10, 20)
+        limit = np.sqrt(6.0 / 30)
+        assert w.shape == (10, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_glorot_rejects_bad_dims(self, rng):
+        with pytest.raises(ShapeError):
+            glorot_uniform(rng, 0, 5)
+
+    def test_orthogonal_square(self, rng):
+        q = orthogonal(rng, 8, 8)
+        assert np.allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_tall(self, rng):
+        q = orthogonal(rng, 10, 4)
+        assert np.allclose(q.T @ q, np.eye(4), atol=1e-10)
+
+    def test_orthogonal_wide(self, rng):
+        q = orthogonal(rng, 4, 10)
+        assert np.allclose(q @ q.T, np.eye(4), atol=1e-10)
+
+    def test_zeros(self):
+        z = zeros(3, 4)
+        assert z.shape == (3, 4) and not z.any()
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng)
+        assert layer.forward(np.ones((7, 5))).shape == (7, 3)
+
+    def test_forward_leading_axes(self, rng):
+        layer = Dense(5, 3, rng)
+        assert layer.forward(np.ones((2, 7, 5))).shape == (2, 7, 3)
+
+    def test_forward_rejects_wrong_dim(self, rng):
+        with pytest.raises(ShapeError):
+            Dense(5, 3, rng).forward(np.ones((7, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Dense(5, 3, rng).backward(np.ones((7, 3)))
+
+    def test_gradient_check(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((6, 4))
+        target = rng.standard_normal((6, 3))
+
+        def loss():
+            y = layer.forward(x)
+            return 0.5 * float(np.sum((y - target) ** 2))
+
+        y = layer.forward(x)
+        layer.zero_grad()
+        dx = layer.backward(y - target)
+
+        assert np.allclose(numeric_grad(loss, layer.W), layer.dW, atol=1e-5)
+        assert np.allclose(numeric_grad(loss, layer.b), layer.db, atol=1e-5)
+        assert np.allclose(numeric_grad(loss, x), dx, atol=1e-5)
+
+    def test_grads_accumulate_until_zeroed(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.standard_normal((2, 4))
+        dy = rng.standard_normal((2, 3))
+        layer.forward(x)
+        layer.backward(dy)
+        first = layer.dW.copy()
+        layer.forward(x)
+        layer.backward(dy)
+        assert np.allclose(layer.dW, 2 * first)
+        layer.zero_grad()
+        assert not layer.dW.any()
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ShapeError):
+            Dense(0, 3, rng)
+
+
+class TestEmbedding:
+    def test_forward_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb.forward(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_matches_table(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb.forward(np.array([3]))
+        assert np.array_equal(out[0], emb.W[3])
+
+    def test_rejects_float_ids(self, rng):
+        with pytest.raises(ShapeError):
+            Embedding(10, 4, rng).forward(np.array([1.5]))
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ShapeError):
+            Embedding(10, 4, rng).forward(np.array([10]))
+        with pytest.raises(ShapeError):
+            Embedding(10, 4, rng).forward(np.array([-1]))
+
+    def test_backward_scatters_with_duplicates(self, rng):
+        emb = Embedding(10, 4, rng)
+        ids = np.array([2, 2, 5])
+        emb.forward(ids)
+        emb.backward(np.ones((3, 4)))
+        assert np.allclose(emb.dW[2], 2.0)  # duplicate id accumulates
+        assert np.allclose(emb.dW[5], 1.0)
+        assert not emb.dW[0].any()
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Embedding(10, 4, rng).backward(np.ones((1, 4)))
+
+    def test_load_vectors(self, rng):
+        emb = Embedding(5, 3, rng)
+        vecs = np.arange(15, dtype=float).reshape(5, 3)
+        emb.load_vectors(vecs)
+        assert np.array_equal(emb.W, vecs)
+
+    def test_load_vectors_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            Embedding(5, 3, rng).load_vectors(np.ones((5, 4)))

@@ -1,0 +1,99 @@
+"""Tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import CategoricalCrossEntropy, MeanSquaredError
+
+
+class TestCategoricalCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = CategoricalCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        targets = np.array([0, 1])
+        assert loss_fn.loss(logits, targets) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_log_c(self):
+        loss_fn = CategoricalCrossEntropy()
+        logits = np.zeros((4, 8))
+        targets = np.arange(4)
+        assert loss_fn.loss(logits, targets) == pytest.approx(np.log(8))
+
+    def test_matches_manual_computation(self):
+        loss_fn = CategoricalCrossEntropy()
+        logits = np.array([[1.0, 2.0, 0.5]])
+        p = np.exp(logits[0]) / np.exp(logits[0]).sum()
+        assert loss_fn.loss(logits, np.array([1])) == pytest.approx(-np.log(p[1]))
+
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        loss_fn = CategoricalCrossEntropy()
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([0, 3, 2])
+        grad = loss_fn.grad(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                hi = loss_fn.loss(perturbed, targets)
+                perturbed[i, j] -= 2 * eps
+                lo = loss_fn.loss(perturbed, targets)
+                assert grad[i, j] == pytest.approx((hi - lo) / (2 * eps), abs=1e-6)
+
+    def test_grad_rows_sum_to_zero(self):
+        """softmax - onehot always sums to zero per row."""
+        rng = np.random.default_rng(1)
+        loss_fn = CategoricalCrossEntropy()
+        grad = loss_fn.grad(rng.standard_normal((4, 6)), np.array([0, 1, 2, 3]))
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    @pytest.mark.parametrize(
+        "logits,targets",
+        [
+            (np.zeros((3,)), np.zeros(3, dtype=int)),  # 1-D logits
+            (np.zeros((3, 4)), np.zeros(2, dtype=int)),  # length mismatch
+            (np.zeros((3, 4)), np.zeros(3)),  # float targets
+            (np.zeros((3, 4)), np.array([0, 1, 4])),  # class out of range
+        ],
+    )
+    def test_rejects_bad_shapes(self, logits, targets):
+        with pytest.raises(ShapeError):
+            CategoricalCrossEntropy().loss(logits, targets)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_exact(self):
+        mse = MeanSquaredError()
+        x = np.ones((3, 2))
+        assert mse.loss(x, x) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal((4, 3)), rng.standard_normal((4, 3))
+        assert MeanSquaredError().loss(a, b) == pytest.approx(np.mean((a - b) ** 2))
+
+    def test_grad_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        mse = MeanSquaredError()
+        pred = rng.standard_normal((2, 3))
+        target = rng.standard_normal((2, 3))
+        grad = mse.grad(pred, target)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(3):
+                p = pred.copy()
+                p[i, j] += eps
+                hi = mse.loss(p, target)
+                p[i, j] -= 2 * eps
+                lo = mse.loss(p, target)
+                assert grad[i, j] == pytest.approx((hi - lo) / (2 * eps), abs=1e-6)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().loss(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().loss(np.empty((0, 2)), np.empty((0, 2)))

@@ -1,0 +1,75 @@
+"""Tests for perplexity and top-k accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import perplexity, topk_accuracy
+
+
+class TestPerplexity:
+    def test_uniform_equals_vocab_size(self):
+        logits = np.zeros((10, 7))
+        targets = np.arange(10) % 7
+        assert perplexity(logits, targets) == pytest.approx(7.0)
+
+    def test_perfect_prediction_is_one(self):
+        logits = np.full((4, 5), -100.0)
+        targets = np.array([0, 1, 2, 3])
+        logits[np.arange(4), targets] = 100.0
+        assert perplexity(logits, targets) == pytest.approx(1.0)
+
+    def test_worse_model_higher_perplexity(self):
+        rng = np.random.default_rng(0)
+        targets = rng.integers(0, 5, 50)
+        sharp = np.full((50, 5), -3.0)
+        sharp[np.arange(50), targets] = 3.0
+        blunt = np.zeros((50, 5))
+        assert perplexity(sharp, targets) < perplexity(blunt, targets)
+
+    @pytest.mark.parametrize(
+        "logits,targets",
+        [
+            (np.zeros((3,)), np.zeros(3, dtype=int)),
+            (np.zeros((3, 4)), np.zeros(2, dtype=int)),
+            (np.zeros((3, 4)), np.zeros(3)),
+            (np.zeros((0, 4)), np.zeros(0, dtype=int)),
+            (np.zeros((3, 4)), np.array([0, 1, 9])),
+        ],
+    )
+    def test_rejects_bad_inputs(self, logits, targets):
+        with pytest.raises(ShapeError):
+            perplexity(logits, targets)
+
+
+class TestTopkAccuracy:
+    def test_top1_equals_argmax_accuracy(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((30, 6))
+        targets = rng.integers(0, 6, 30)
+        top1 = topk_accuracy(logits, targets, 1)
+        manual = float((np.argmax(logits, axis=1) == targets).mean())
+        assert top1 == pytest.approx(manual)
+
+    def test_full_k_is_one(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((10, 4))
+        targets = rng.integers(0, 4, 10)
+        assert topk_accuracy(logits, targets, 4) == 1.0
+
+    def test_monotone_in_k(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((50, 8))
+        targets = rng.integers(0, 8, 50)
+        accs = [topk_accuracy(logits, targets, k) for k in range(1, 9)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ShapeError):
+            topk_accuracy(np.zeros((3, 4)), np.zeros(3, dtype=int), 0)
+        with pytest.raises(ShapeError):
+            topk_accuracy(np.zeros((3, 4)), np.zeros(3, dtype=int), 5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            topk_accuracy(np.zeros((0, 4)), np.zeros(0, dtype=int), 1)

@@ -1,0 +1,130 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.optimizers import SGD, Adam, RMSprop, clip_gradients
+
+
+def quadratic_descent(optimizer, start=5.0, steps=200):
+    """Minimize f(x) = x^2 with the given optimizer; returns final |x|."""
+    x = np.array([start])
+    for _ in range(steps):
+        g = 2.0 * x
+        optimizer.step({"x": x}, {"x": g})
+    return float(abs(x[0]))
+
+
+class TestClipGradients:
+    def test_small_gradients_untouched(self):
+        g = {"a": np.array([0.3, 0.4])}
+        norm = clip_gradients(g, max_norm=10.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(g["a"], [0.3, 0.4])
+
+    def test_large_gradients_scaled_to_norm(self):
+        g = {"a": np.array([30.0, 40.0])}
+        clip_gradients(g, max_norm=5.0)
+        total = np.sqrt(np.sum(g["a"] ** 2))
+        assert total == pytest.approx(5.0, rel=1e-6)
+
+    def test_direction_preserved(self):
+        g = {"a": np.array([30.0, 40.0])}
+        clip_gradients(g, max_norm=5.0)
+        assert g["a"][1] / g["a"][0] == pytest.approx(40.0 / 30.0)
+
+    def test_global_norm_across_arrays(self):
+        g = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert clip_gradients(g, max_norm=100.0) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_norm(self):
+        with pytest.raises(ConfigError):
+            clip_gradients({"a": np.ones(2)}, max_norm=0.0)
+
+
+class TestSGD:
+    def test_plain_step(self):
+        x = np.array([1.0])
+        SGD(0.1).step({"x": x}, {"x": np.array([2.0])})
+        assert x[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        opt = SGD(0.1, momentum=0.9)
+        x = np.array([0.0])
+        g = {"x": np.array([1.0])}
+        opt.step({"x": x}, g)
+        first = x[0]
+        opt.step({"x": x}, g)
+        # Second step moves farther due to velocity.
+        assert (x[0] - first) < first
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(SGD(0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        assert quadratic_descent(SGD(0.05, momentum=0.9)) < 1e-4
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD(0.1, momentum=1.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigError):
+            SGD(0.0)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        # RMSprop's normalized steps stall near the lr scale; it reaches
+        # the neighbourhood of the optimum, not machine precision.
+        assert quadratic_descent(RMSprop(0.05), steps=600) < 0.1
+
+    def test_adapts_per_parameter(self):
+        """A dimension with huge gradients gets a smaller effective step."""
+        opt = RMSprop(0.1)
+        x = np.array([0.0, 0.0])
+        for _ in range(3):
+            opt.step({"x": x}, {"x": np.array([1000.0, 1.0])})
+        # RMS normalization: both dims move at comparable magnitude.
+        assert abs(x[0]) < 10 * abs(x[1])
+
+    @pytest.mark.parametrize("kwargs", [{"rho": 0.0}, {"rho": 1.0}, {"eps": 0.0}])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            RMSprop(0.01, **kwargs)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(Adam(0.1), steps=400) < 1e-3
+
+    def test_bias_correction_first_step(self):
+        """First Adam step has magnitude ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            opt = Adam(0.1)
+            x = np.array([0.0])
+            opt.step({"x": x}, {"x": np.array([scale])})
+            assert abs(x[0]) == pytest.approx(0.1, rel=1e-3)
+
+    @pytest.mark.parametrize("kwargs", [{"beta1": 1.0}, {"beta2": 0.0}, {"eps": -1}])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            Adam(0.01, **kwargs)
+
+
+class TestStepValidation:
+    def test_key_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            SGD(0.1).step({"x": np.ones(2)}, {"y": np.ones(2)})
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            SGD(0.1).step({"x": np.ones(2)}, {"x": np.ones(3)})
+
+    def test_updates_in_place(self):
+        x = np.ones(3)
+        original = x
+        SGD(0.1).step({"x": x}, {"x": np.ones(3)})
+        assert x is original  # same array object, mutated in place
+        assert not np.allclose(x, 1.0)

@@ -1,0 +1,102 @@
+"""Tests for parallel mapping and sharding."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.events import EventSequence, ParsedEvent
+from repro.parallel import ordered_parallel_map, shard_sequences
+from repro.topology import CrayNodeId
+
+
+def square(x):
+    return x * x
+
+
+class TestOrderedParallelMap:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_results_in_order(self, mode):
+        items = list(range(37))
+        out = ordered_parallel_map(square, items, max_workers=3, mode=mode)
+        assert out == [x * x for x in items]
+
+    def test_empty_input(self):
+        assert ordered_parallel_map(square, []) == []
+
+    def test_single_item(self):
+        assert ordered_parallel_map(square, [4]) == [16]
+
+    def test_modes_agree(self):
+        items = list(range(20))
+        serial = ordered_parallel_map(square, items, mode="serial")
+        threaded = ordered_parallel_map(square, items, mode="thread")
+        assert serial == threaded
+
+    def test_explicit_chunk_size(self):
+        out = ordered_parallel_map(square, list(range(10)), chunk_size=3)
+        assert out == [x * x for x in range(10)]
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ConfigError):
+            ordered_parallel_map(square, [1], mode="gpu")
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigError):
+            ordered_parallel_map(square, [1], max_workers=0)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigError):
+            ordered_parallel_map(square, [1, 2], chunk_size=0)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            ordered_parallel_map(boom, [1, 2], mode="thread")
+
+
+def seq_of_length(node_index, n):
+    node = CrayNodeId(0, 0, 0, 0, node_index)
+    events = [
+        ParsedEvent(timestamp=float(i), phrase_id=0, node=node) for i in range(n)
+    ]
+    return EventSequence(node, events)
+
+
+class TestShardSequences:
+    def test_all_sequences_assigned_once(self):
+        seqs = [seq_of_length(i % 4, 5 + i) for i in range(4)]
+        shards = shard_sequences(seqs, 2)
+        flat = [s for shard in shards for s in shard]
+        assert len(flat) == len(seqs)
+        assert {id(s) for s in flat} == {id(s) for s in seqs}
+
+    def test_balanced_loads(self):
+        # One big sequence and many small ones.
+        seqs = [seq_of_length(0, 100)] + [seq_of_length(i % 4, 10) for i in range(10)]
+        shards = shard_sequences(seqs, 2)
+        loads = [sum(len(s) for s in shard) for shard in shards]
+        assert max(loads) <= 110
+        assert min(loads) >= 90
+
+    def test_more_shards_than_items(self):
+        shards = shard_sequences([seq_of_length(0, 3)], 4)
+        assert sum(bool(s) for s in shards) == 1
+        assert len(shards) == 4
+
+    def test_empty_input(self):
+        assert shard_sequences([], 3) == [[], [], []]
+
+    def test_deterministic(self):
+        seqs = [seq_of_length(i % 4, 5 + 3 * i) for i in range(9)]
+        a = shard_sequences(seqs, 3)
+        b = shard_sequences(seqs, 3)
+        assert [[id(s) for s in shard] for shard in a] == [
+            [id(s) for s in shard] for shard in b
+        ]
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigError):
+            shard_sequences([], 0)

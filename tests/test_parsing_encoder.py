@@ -1,0 +1,111 @@
+"""Tests for the phrase vocabulary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SerializationError, VocabularyError
+from repro.parsing.encoder import PhraseVocabulary
+
+
+class TestPhraseVocabulary:
+    def test_add_returns_dense_ids(self):
+        v = PhraseVocabulary()
+        assert v.add("a") == 0
+        assert v.add("b") == 1
+        assert v.add("a") == 0  # re-add returns same id
+
+    def test_round_trip(self):
+        v = PhraseVocabulary()
+        v.update(["x", "y", "z"])
+        for text in ("x", "y", "z"):
+            assert v.text_of(v.id_of(text)) == text
+
+    def test_len_and_contains(self):
+        v = PhraseVocabulary()
+        v.update(["a", "b", "a"])
+        assert len(v) == 2
+        assert "a" in v and "c" not in v
+
+    def test_counts_accumulate(self):
+        v = PhraseVocabulary()
+        v.update(["a", "a", "b"])
+        assert v.count_of(v.id_of("a")) == 2
+        assert v.count_of(v.id_of("b")) == 1
+
+    def test_add_with_count(self):
+        v = PhraseVocabulary()
+        pid = v.add("a", count=10)
+        assert v.count_of(pid) == 10
+
+    def test_frequencies_sum_to_one(self):
+        v = PhraseVocabulary()
+        v.update(["a", "a", "b", "c"])
+        freq = v.frequencies()
+        assert freq.sum() == pytest.approx(1.0)
+        assert freq[v.id_of("a")] == pytest.approx(0.5)
+
+    def test_frequencies_empty_raises(self):
+        with pytest.raises(VocabularyError):
+            PhraseVocabulary().frequencies()
+
+    def test_unknown_phrase_raises(self):
+        with pytest.raises(VocabularyError):
+            PhraseVocabulary().id_of("nope")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(VocabularyError):
+            PhraseVocabulary().text_of(0)
+
+    def test_get_id_default(self):
+        v = PhraseVocabulary()
+        assert v.get_id("nope") == -1
+        assert v.get_id("nope", default=99) == 99
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(VocabularyError):
+            PhraseVocabulary().add("")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(VocabularyError):
+            PhraseVocabulary().add("a", count=-1)
+
+    def test_iteration_order_is_id_order(self):
+        v = PhraseVocabulary()
+        v.update(["z", "a", "m"])
+        assert list(v) == ["z", "a", "m"]
+
+    @given(st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=30))
+    def test_property_ids_consistent(self, phrases):
+        v = PhraseVocabulary()
+        v.update(phrases)
+        for p in phrases:
+            assert v.text_of(v.id_of(p)) == p
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        v = PhraseVocabulary()
+        v.update(["alpha beta", "gamma <*>", "alpha beta"])
+        path = tmp_path / "vocab.json"
+        v.save(path)
+        loaded = PhraseVocabulary.load(path)
+        assert len(loaded) == len(v)
+        assert loaded.id_of("gamma <*>") == v.id_of("gamma <*>")
+        assert np.array_equal(loaded.counts(), v.counts())
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            PhraseVocabulary.load(tmp_path / "missing.json")
+
+    def test_load_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            PhraseVocabulary.load(path)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(SerializationError):
+            PhraseVocabulary.from_dict({"phrases": ["a"], "counts": [1, 2]})
+        with pytest.raises(SerializationError):
+            PhraseVocabulary.from_dict({"phrases": "x", "counts": []})

@@ -1,0 +1,109 @@
+"""Tests for Safe/Unknown/Error phrase labeling (Table 3)."""
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.events import Label
+from repro.parsing.labeling import PhraseLabeler, default_labeler
+
+
+@pytest.fixture(scope="module")
+def labeler() -> PhraseLabeler:
+    return default_labeler()
+
+
+class TestErrorPhrases:
+    """Phrases from Table 3 column 3 must label Error."""
+
+    @pytest.mark.parametrize(
+        "phrase",
+        [
+            "cb_node_unavailable",
+            "Kernel panic - not syncing: Fatal Machine check",
+            "Debug NMI detected on cpu <*>",
+            "Stop NMI detected on cpu <*>",
+            "Call Trace: <<*>> panic+<*>/<*>",
+            "ec_node_failed: node heartbeat fault <*>",
+            "System: halted",
+            "WARNING: Node <*> is down",
+        ],
+    )
+    def test_error(self, labeler, phrase):
+        assert labeler.label(phrase) == Label.ERROR
+
+
+class TestSafePhrases:
+    """Phrases from Table 3 column 1 must label Safe."""
+
+    @pytest.mark.parametrize(
+        "phrase",
+        [
+            "Mounting NID specific <*>",
+            "cpu <*> apic_timer_irqs <*>",
+            "Setting flag <*>",
+            "Wait4Boot",
+            "Sending ec node info with boot code <*>",
+            "Running sysctl, using values from <*>",
+        ],
+    )
+    def test_safe(self, labeler, phrase):
+        assert labeler.label(phrase) == Label.SAFE
+
+
+class TestUnknownPhrases:
+    """Ambiguous phrases (Table 3 column 2) default to Unknown."""
+
+    @pytest.mark.parametrize(
+        "phrase",
+        [
+            "LNet: No gnilnd traffic received from <*>",
+            "python invoked oom killer: gfp_mask=<*>, order=<*>",
+            "PCIe Bus Error: severity=Corrected, type=Physical Layer, id=<*>",
+            "LustreError: <*>:0:(client.c:<*>) <*> operation failed",
+            "DVS: Verify Filesystem <*>",
+            "never seen before message",
+        ],
+    )
+    def test_unknown(self, labeler, phrase):
+        assert labeler.label(phrase) == Label.UNKNOWN
+
+
+class TestTerminals:
+    def test_terminal_phrases(self, labeler):
+        assert labeler.is_terminal("cb_node_unavailable")
+        assert labeler.is_terminal("ec_console_log: node shutdown in progress <*>")
+
+    def test_non_terminal_error(self, labeler):
+        assert not labeler.is_terminal("Kernel panic - not syncing")
+
+    def test_terminals_are_errors(self, labeler):
+        """Every terminal phrase must carry the Error label."""
+        for phrase in ("cb_node_unavailable", "node shutdown in progress"):
+            assert labeler.label(phrase) == Label.ERROR
+
+
+class TestPrecedence:
+    def test_error_beats_safe(self):
+        """A phrase matching both rule sets is an anomaly indicator."""
+        labeler = PhraseLabeler(
+            safe_patterns=("heartbeat",), error_patterns=("heartbeat fault",)
+        )
+        assert labeler.label("node heartbeat fault detected") == Label.ERROR
+
+
+class TestValidation:
+    def test_empty_phrase_raises(self, labeler):
+        with pytest.raises(LabelingError):
+            labeler.label("")
+
+    def test_empty_pattern_list_raises(self):
+        with pytest.raises(LabelingError):
+            PhraseLabeler(safe_patterns=())
+
+    def test_invalid_regex_raises(self):
+        with pytest.raises(LabelingError):
+            PhraseLabeler(safe_patterns=("[unclosed",))
+
+    def test_label_many(self, labeler):
+        labels = labeler.label_many(["Wait4Boot", "cb_node_unavailable"])
+        assert labels == [Label.SAFE, Label.ERROR]

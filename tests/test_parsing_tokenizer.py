@@ -1,0 +1,68 @@
+"""Tests for static/dynamic masking (Table 2 semantics)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.parsing.tokenizer import MASK, mask_message, tokenize
+
+
+class TestMaskingRules:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            ("error code 0x5f3a21", f"error code {MASK}"),
+            ("pid 2816 exited", f"pid {MASK} exited"),
+            ("from 10.128.3.44 port 22", f"from {MASK} port {MASK}"),
+            ("target snx1103-OST0004 ready", f"target {MASK} ready"),
+            ("peer nid00123 down", f"peer {MASK} down"),
+            ("device af:1f.3 reset", f"device {MASK} reset"),
+            ("mount /lus/snx3 failed", f"mount {MASK} failed"),
+            ("quiesce 20141216t162520 done", f"quiesce {MASK} done"),
+            ("page f00abc123 corrected", f"page {MASK} corrected"),
+        ],
+    )
+    def test_each_dynamic_kind(self, message, expected):
+        assert mask_message(message) == expected
+
+    def test_words_with_digits_inside_survive(self):
+        """Identifiers like ipogif0 / MC0 are static, not dynamic."""
+        assert mask_message("ipogif0: transmit ok") == "ipogif0: transmit ok"
+        assert mask_message("EDAC MC0: ready") == "EDAC MC0: ready"
+
+    def test_plain_text_unchanged(self):
+        assert mask_message("Kernel panic - not syncing") == (
+            "Kernel panic - not syncing"
+        )
+
+    def test_short_hex_words_survive(self):
+        """English words over the hex alphabet must not be masked."""
+        assert mask_message("dead beef face cafe") == "dead beef face cafe"
+
+    def test_whitespace_normalized(self):
+        assert mask_message("a   b\t c") == "a b c"
+
+    def test_composite_before_decimal(self):
+        """An IP must become one mask, not four masked octets."""
+        assert mask_message("ip 10.128.1.2") == f"ip {MASK}"
+
+    def test_idempotent(self):
+        msg = "hwerr[2816]: error 0x5f00 at /lus/snx3"
+        once = mask_message(msg)
+        assert mask_message(once) == once
+
+    @given(st.integers(0, 2**32 - 1), st.integers(100, 65535))
+    def test_property_numbers_always_masked(self, a, b):
+        assert mask_message(f"val {a} pid {b}") == f"val {MASK} pid {MASK}"
+
+
+class TestTokenize:
+    def test_tokens_are_masked(self):
+        assert tokenize("code 0xff done") == ["code", MASK, "done"]
+
+    def test_single_word(self):
+        assert tokenize("cb_node_unavailable") == ["cb_node_unavailable"]
+
+    def test_alignment_across_occurrences(self):
+        a = tokenize("Killed process 123 (aprun)")
+        b = tokenize("Killed process 99999 (aprun)")
+        assert a == b

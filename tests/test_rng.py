@@ -1,0 +1,76 @@
+"""Tests for deterministic RNG stream management."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rng import RngFactory, derive_seed, generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_different_paths_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_order_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "b", "a")
+
+    def test_nonnegative_63_bit(self):
+        for seed in (0, 1, 2**62):
+            child = derive_seed(seed, "x")
+            assert 0 <= child < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=20))
+    def test_property_stable(self, root, label):
+        assert derive_seed(root, label) == derive_seed(root, label)
+
+
+class TestRngFactory:
+    def test_same_path_same_stream(self):
+        f1, f2 = RngFactory(99), RngFactory(99)
+        a = f1.get("x").integers(0, 1000, 16)
+        b = f2.get("x").integers(0, 1000, 16)
+        assert np.array_equal(a, b)
+
+    def test_different_paths_independent(self):
+        f = RngFactory(99)
+        a = f.get("x").integers(0, 1000, 16)
+        b = f.get("y").integers(0, 1000, 16)
+        assert not np.array_equal(a, b)
+
+    def test_get_returns_fresh_generator(self):
+        f = RngFactory(5)
+        g1 = f.get("s")
+        g1.integers(0, 10, 100)  # advance
+        g2 = f.get("s")
+        assert np.array_equal(
+            g2.integers(0, 1000, 8), RngFactory(5).get("s").integers(0, 1000, 8)
+        )
+
+    def test_stream_yields_distinct_generators(self):
+        f = RngFactory(7)
+        it = f.stream("workers")
+        g0, g1 = next(it), next(it)
+        assert not np.array_equal(g0.integers(0, 1000, 8), g1.integers(0, 1000, 8))
+
+    def test_seed_for_matches_derive_seed(self):
+        f = RngFactory(11)
+        assert f.seed_for("a", "b") == derive_seed(11, "a", "b")
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory("nope")  # type: ignore[arg-type]
+
+    def test_repr_contains_seed(self):
+        assert "123" in repr(RngFactory(123))
+
+
+def test_generator_seeded():
+    assert np.array_equal(
+        generator(3).integers(0, 100, 8), generator(3).integers(0, 100, 8)
+    )

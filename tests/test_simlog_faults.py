@@ -1,0 +1,150 @@
+"""Tests for failure classes, chain templates and the fault model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LogGenerationError
+from repro.simlog.faults import (
+    PAPER_LEAD_TIMES,
+    ChainTemplate,
+    FailureClass,
+    FaultModel,
+    default_fault_model,
+)
+from repro.simlog.templates import default_catalog
+
+
+class TestFailureClass:
+    def test_six_classes(self):
+        """Table 7 defines exactly six node-failure classes."""
+        assert len(FailureClass) == 6
+
+    def test_paper_lead_times_cover_all_classes(self):
+        assert set(PAPER_LEAD_TIMES) == set(FailureClass)
+
+    def test_panic_has_shortest_lead(self):
+        """Kernel panics happen just before the failure (Section 4.2)."""
+        assert min(PAPER_LEAD_TIMES, key=PAPER_LEAD_TIMES.get) is FailureClass.PANIC
+
+    def test_mce_has_longest_lead(self):
+        assert max(PAPER_LEAD_TIMES, key=PAPER_LEAD_TIMES.get) is FailureClass.MCE
+
+    def test_table7_values(self):
+        assert PAPER_LEAD_TIMES[FailureClass.JOB] == pytest.approx(81.52)
+        assert PAPER_LEAD_TIMES[FailureClass.MCE] == pytest.approx(160.29)
+        assert PAPER_LEAD_TIMES[FailureClass.PANIC] == pytest.approx(58.87)
+
+
+class TestChainTemplate:
+    def make(self, **kw):
+        base = dict(
+            name="t",
+            failure_class=FailureClass.MCE,
+            stage_keys=("mce_logged", "uncorr_mce"),
+            lead_mean=100.0,
+            lead_std=10.0,
+        )
+        base.update(kw)
+        return ChainTemplate(**base)
+
+    def test_requires_two_stages(self):
+        with pytest.raises(LogGenerationError):
+            self.make(stage_keys=("mce_logged",))
+
+    def test_requires_positive_lead(self):
+        with pytest.raises(LogGenerationError):
+            self.make(lead_mean=-5.0)
+
+    def test_validate_against_catalog(self, catalog):
+        self.make().validate_against(catalog)
+
+    def test_validate_rejects_unknown_key(self, catalog):
+        with pytest.raises(LogGenerationError):
+            self.make(stage_keys=("mce_logged", "no_such")).validate_against(catalog)
+
+    def test_validate_rejects_nonterminal_terminal(self, catalog):
+        with pytest.raises(LogGenerationError):
+            self.make(terminal_key="mce_logged").validate_against(catalog)
+
+    def test_lead_time_positive_and_bounded(self, rng):
+        chain = self.make()
+        leads = [chain.sample_lead_time(rng) for _ in range(200)]
+        assert all(5.0 <= l <= 100.0 + 3 * 10.0 for l in leads)
+
+    def test_lead_time_near_mean(self, rng):
+        chain = self.make()
+        leads = np.array([chain.sample_lead_time(rng) for _ in range(500)])
+        assert abs(leads.mean() - 100.0) < 5.0
+
+    def test_offsets_descending(self, rng):
+        chain = self.make(
+            stage_keys=("mce_logged", "corr_dimm", "mce_notify_irq", "uncorr_mce")
+        )
+        for _ in range(50):
+            offsets = chain.sample_offsets(rng)
+            assert len(offsets) == 4
+            assert all(a > b for a, b in zip(offsets, offsets[1:]))
+            assert all(o > 0 for o in offsets)
+
+    def test_first_offset_is_lead(self, rng):
+        """The first stage fires the full lead time before the terminal."""
+        chain = self.make()
+        offsets = chain.sample_offsets(rng)
+        assert 5.0 <= offsets[0] <= 130.0
+
+    def test_offsets_shape_reproducible(self):
+        """Same seed -> same offsets (Observation 4 determinism)."""
+        chain = self.make()
+        a = chain.sample_offsets(np.random.default_rng(3))
+        b = chain.sample_offsets(np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestFaultModel:
+    def test_default_model_is_valid(self, catalog, fault_model):
+        fault_model.validate_against(catalog)
+
+    def test_all_classes_have_chains(self, fault_model):
+        for cls in FailureClass:
+            assert fault_model.chains_for(cls), f"no chains for {cls}"
+
+    def test_default_mix_sums_to_one(self, fault_model):
+        assert sum(fault_model.class_mix.values()) == pytest.approx(1.0)
+
+    def test_sample_class_follows_mix(self, fault_model, rng):
+        draws = [fault_model.sample_class(rng) for _ in range(2000)]
+        freq = draws.count(FailureClass.MCE) / len(draws)
+        assert abs(freq - fault_model.class_mix[FailureClass.MCE]) < 0.05
+
+    def test_sample_chain_respects_class(self, fault_model, rng):
+        for _ in range(20):
+            chain = fault_model.sample_chain(rng, FailureClass.PANIC)
+            assert chain.failure_class is FailureClass.PANIC
+
+    def test_with_mix_replaces(self, fault_model):
+        mix = {c: (1.0 if c is FailureClass.MCE else 0.0) for c in FailureClass}
+        new = fault_model.with_mix(mix)
+        assert new.class_mix[FailureClass.MCE] == 1.0
+        assert fault_model.class_mix[FailureClass.MCE] != 1.0
+
+    def test_rejects_unnormalized_mix(self, fault_model):
+        with pytest.raises(LogGenerationError):
+            fault_model.with_mix({FailureClass.MCE: 0.7})
+
+    def test_rejects_weight_without_chains(self):
+        chains = default_fault_model().chains_for(FailureClass.MCE)
+        mix = {c: 0.0 for c in FailureClass}
+        mix[FailureClass.PANIC] = 1.0  # no Panic chains in this subset
+        with pytest.raises(LogGenerationError):
+            FaultModel(chains=tuple(chains), class_mix=mix)
+
+    def test_rejects_empty_chains(self):
+        with pytest.raises(LogGenerationError):
+            FaultModel(chains=())
+
+    def test_lead_means_match_table7(self, fault_model):
+        """Chain templates carry their class's Table-7 lead time."""
+        for chain in fault_model.chains:
+            assert chain.lead_mean == pytest.approx(
+                PAPER_LEAD_TIMES[chain.failure_class]
+            )

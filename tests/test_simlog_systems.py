@@ -1,0 +1,79 @@
+"""Tests for the M1-M4 system presets (Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simlog.faults import FailureClass
+from repro.simlog.systems import SYSTEM_PRESETS, generate_system
+
+
+class TestPresets:
+    def test_four_systems(self):
+        assert set(SYSTEM_PRESETS) == {"M1", "M2", "M3", "M4"}
+
+    @pytest.mark.parametrize(
+        "name,machine,nodes,size",
+        [
+            ("M1", "Cray XC30", 5600, "373GB"),
+            ("M2", "Cray XE6", 6400, "150GB"),
+            ("M3", "Cray XC40", 2100, "39GB"),
+            ("M4", "Cray XC40/XC30", 1872, "22GB"),
+        ],
+    )
+    def test_table1_provenance(self, name, machine, nodes, size):
+        p = SYSTEM_PRESETS[name]
+        assert p.machine_type == machine
+        assert p.paper_nodes == nodes
+        assert p.paper_size == size
+
+    def test_scale_ordering_preserved(self):
+        """M2 > M1 > M3 > M4 in node count, like the paper's machines."""
+        scaled = {n: p.scaled_nodes for n, p in SYSTEM_PRESETS.items()}
+        assert scaled["M2"] > scaled["M1"] > scaled["M3"] >= scaled["M4"]
+
+    def test_m2_mix_favours_hardware_and_fs(self):
+        """M2's longer lead times come from more H/W + FS failures."""
+        m2 = SYSTEM_PRESETS["M2"].class_mix
+        m1 = SYSTEM_PRESETS["M1"].class_mix
+        assert m2[FailureClass.HARDWARE] > m1[FailureClass.HARDWARE]
+        assert m2[FailureClass.PANIC] < m1[FailureClass.PANIC]
+
+    def test_m4_has_most_near_misses(self):
+        """M4's lower precision is modeled via near-miss traffic."""
+        ratios = {n: p.near_miss_ratio for n, p in SYSTEM_PRESETS.items()}
+        assert ratios["M4"] == max(ratios.values())
+
+    def test_class_mixes_normalized(self):
+        for preset in SYSTEM_PRESETS.values():
+            assert sum(preset.class_mix.values()) == pytest.approx(1.0)
+
+
+class TestGenerateSystem:
+    def test_unknown_system_raises(self):
+        with pytest.raises(ConfigError):
+            generate_system("M9")
+
+    def test_case_insensitive(self):
+        # Only checks resolution, not a full (expensive) comparison.
+        log = generate_system("m4", seed=3)
+        assert log.topology.num_nodes == SYSTEM_PRESETS["M4"].scaled_nodes
+
+    def test_deterministic_per_seed(self):
+        a = generate_system("M4", seed=11)
+        b = generate_system("M4", seed=11)
+        assert len(a) == len(b)
+        assert a.ground_truth.summary() == b.ground_truth.summary()
+
+    def test_different_seeds_differ(self):
+        a = generate_system("M4", seed=11)
+        b = generate_system("M4", seed=12)
+        assert [r.timestamp for r in a.records[:100]] != [
+            r.timestamp for r in b.records[:100]
+        ]
+
+    def test_failure_classes_follow_mix(self):
+        log = generate_system("M2", seed=5)
+        classes = {f.failure_class for f in log.ground_truth.failures}
+        # The heavy classes of M2's mix must all appear.
+        assert FailureClass.HARDWARE in classes
+        assert FailureClass.FILESYSTEM in classes

@@ -1,0 +1,96 @@
+"""Tests for the slurm-like workload model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LogGenerationError
+from repro.simlog.workload import Job, WorkloadModel
+from repro.topology import CrayNodeId
+
+
+class TestJob:
+    def test_duration(self):
+        node = (CrayNodeId(0, 0, 0, 0, 0),)
+        assert Job(1, node, 10.0, 40.0).duration == 30.0
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(LogGenerationError):
+            Job(1, (CrayNodeId(0, 0, 0, 0, 0),), 10.0, 5.0)
+
+    def test_rejects_empty_nodes(self):
+        with pytest.raises(LogGenerationError):
+            Job(1, (), 0.0, 1.0)
+
+
+class TestWorkloadModel:
+    def test_rejects_bad_params(self):
+        with pytest.raises(LogGenerationError):
+            WorkloadModel(arrival_rate=0.0)
+        with pytest.raises(LogGenerationError):
+            WorkloadModel(min_duration=0.0)
+        with pytest.raises(LogGenerationError):
+            WorkloadModel(mean_duration=10.0, min_duration=20.0)
+        with pytest.raises(LogGenerationError):
+            WorkloadModel(max_job_nodes=0)
+
+    def test_sample_jobs_within_horizon(self, small_topology, rng):
+        jobs = WorkloadModel(arrival_rate=1 / 60.0).sample_jobs(
+            rng, small_topology, 3600.0
+        )
+        assert jobs, "expected some arrivals in an hour"
+        assert all(0.0 <= j.start < 3600.0 for j in jobs)
+
+    def test_sample_jobs_sorted_by_start(self, small_topology, rng):
+        jobs = WorkloadModel(arrival_rate=1 / 30.0).sample_jobs(
+            rng, small_topology, 3600.0
+        )
+        starts = [j.start for j in jobs]
+        assert starts == sorted(starts)
+
+    def test_durations_respect_minimum(self, small_topology, rng):
+        model = WorkloadModel(arrival_rate=1 / 30.0, min_duration=120.0)
+        jobs = model.sample_jobs(rng, small_topology, 3600.0)
+        # (end - start) re-derives the duration, so allow float epsilon.
+        assert all(j.duration >= 120.0 - 1e-6 for j in jobs)
+
+    def test_node_counts_bounded(self, small_topology, rng):
+        model = WorkloadModel(arrival_rate=1 / 30.0, max_job_nodes=3)
+        jobs = model.sample_jobs(rng, small_topology, 3600.0)
+        assert all(1 <= len(j.nodes) <= 3 for j in jobs)
+
+    def test_job_ids_unique(self, small_topology, rng):
+        jobs = WorkloadModel(arrival_rate=1 / 30.0).sample_jobs(
+            rng, small_topology, 3600.0
+        )
+        ids = [j.job_id for j in jobs]
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_nonpositive_horizon(self, small_topology, rng):
+        with pytest.raises(LogGenerationError):
+            WorkloadModel().sample_jobs(rng, small_topology, 0.0)
+
+    def test_job_records_emitted_per_node(self, small_topology, catalog, rng):
+        model = WorkloadModel()
+        jobs = [
+            Job(1, tuple(small_topology.sample_nodes(rng, 2)), 100.0, 200.0),
+        ]
+        records = model.job_records(rng, jobs, catalog, horizon=3600.0)
+        # one placement + one completion per node
+        assert len(records) == 4
+        assert {r.timestamp for r in records} == {100.0, 200.0}
+
+    def test_job_records_skip_completion_past_horizon(
+        self, small_topology, catalog, rng
+    ):
+        model = WorkloadModel()
+        jobs = [Job(1, tuple(small_topology.sample_nodes(rng, 1)), 100.0, 5000.0)]
+        records = model.job_records(rng, jobs, catalog, horizon=3600.0)
+        assert len(records) == 1  # placement only
+
+    def test_deterministic_for_seed(self, small_topology):
+        model = WorkloadModel()
+        a = model.sample_jobs(np.random.default_rng(5), small_topology, 3600.0)
+        b = model.sample_jobs(np.random.default_rng(5), small_topology, 3600.0)
+        assert [(j.job_id, j.start, j.end, j.nodes) for j in a] == [
+            (j.job_id, j.start, j.end, j.nodes) for j in b
+        ]
