@@ -13,6 +13,10 @@ Commands
 ``evaluate``
     End-to-end: generate (or read) a system, train on the 30% split and
     print the Table-6 metrics plus lead times for the rest.
+``chaos``
+    Train once, then score the test split clean *and* after seeded fault
+    injection + hardened re-ingest; prints the recall/FP-rate deltas and
+    the full fault/quarantine accounting.
 
 Examples
 --------
@@ -23,6 +27,7 @@ Examples
     python -m repro train --log m3.log.gz --fraction 0.3 --model-dir model/
     python -m repro predict --log m3.log.gz --model-dir model/
     python -m repro evaluate --system M4 --seed 9
+    python -m repro chaos --system M1 --profile moderate --chaos-seed 3
 """
 
 from __future__ import annotations
@@ -80,6 +85,33 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=2018)
     r.add_argument("--train-fraction", type=float, default=0.3)
     r.add_argument("--out", required=True, help="markdown output path")
+
+    c = sub.add_parser("chaos", help="measure degradation under injected faults")
+    c.add_argument("--system", default="M3")
+    c.add_argument("--seed", type=int, default=2018)
+    c.add_argument("--train-fraction", type=float, default=0.3)
+    c.add_argument(
+        "--profile",
+        default="moderate",
+        help="fault profile name (none/mild/moderate/severe)",
+    )
+    c.add_argument("--chaos-seed", type=int, default=0, help="fault injector seed")
+    c.add_argument(
+        "--corrupt-rate",
+        type=float,
+        help="override the profile's line-corruption rate",
+    )
+    c.add_argument(
+        "--reorder-window",
+        type=int,
+        help="override the profile's reordering window",
+    )
+    c.add_argument(
+        "--max-bad-ratio",
+        type=float,
+        default=None,
+        help="ingest error budget (default: IngestConfig default)",
+    )
     return parser
 
 
@@ -218,12 +250,55 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: report metric degradation under injected faults."""
+    import dataclasses
+
+    from .resilience import FAULT_PROFILES, IngestConfig, chaos_evaluation
+
+    if args.profile not in FAULT_PROFILES:
+        names = ", ".join(sorted(FAULT_PROFILES))
+        raise ReproError(f"unknown fault profile {args.profile!r} (have: {names})")
+    profile = FAULT_PROFILES[args.profile]
+    overrides = {}
+    if args.corrupt_rate is not None:
+        overrides["corrupt_rate"] = args.corrupt_rate
+    if args.reorder_window is not None:
+        overrides["reorder_window"] = args.reorder_window
+    if overrides:
+        profile = dataclasses.replace(profile, **overrides)
+    ingest_config = None
+    if args.max_bad_ratio is not None:
+        ingest_config = IngestConfig(max_bad_ratio=args.max_bad_ratio)
+
+    log = generate_system(args.system, seed=args.seed)
+    train, test = log.split(args.train_fraction)
+    model = Desh(DeshConfig(seed=args.seed)).fit(
+        list(train.records), train_classifier=False
+    )
+    report = chaos_evaluation(
+        model,
+        list(test.records),
+        test.ground_truth,
+        profile,
+        seed=args.chaos_seed,
+        ingest_config=ingest_config,
+    )
+    print(
+        f"system {args.system} (seed {args.seed}), "
+        f"profile {args.profile} (chaos seed {args.chaos_seed}):"
+    )
+    print(report.summary())
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "predict": cmd_predict,
     "evaluate": cmd_evaluate,
     "report": cmd_report,
+    "chaos": cmd_chaos,
 }
 
 

@@ -173,16 +173,33 @@ class Desh:
         records: Sequence[LogRecord],
         *,
         train_classifier: bool = True,
+        checkpoint_dir: "str | None" = None,
     ) -> DeshModel:
         """Train the full pipeline on raw training records.
 
         ``train_classifier=False`` skips the phase-1 LSTM (embeddings and
         chains are still built); useful when only lead-time prediction is
         being evaluated.
+
+        ``checkpoint_dir`` enables crash-safe training: both LSTM fits
+        write atomic per-epoch checkpoints under ``<dir>/phase1`` and
+        ``<dir>/phase2``, and a re-run of the same ``fit`` call resumes
+        from the newest intact checkpoint to bit-identical weights (the
+        parser, embeddings and chain extraction are deterministic given
+        the config seed, so they are simply recomputed).
         """
         if not records:
             raise TrainingError("Desh.fit received no records")
         cfg = self.config
+        ckpt1 = ckpt2 = None
+        if checkpoint_dir is not None:
+            from pathlib import Path
+
+            from ..resilience.checkpoint import CheckpointManager
+
+            root = Path(checkpoint_dir)
+            ckpt1 = CheckpointManager(root / "phase1")
+            ckpt2 = CheckpointManager(root / "phase2")
         parser = LogParser()
         parsed = parser.fit_transform(records)
 
@@ -193,7 +210,7 @@ class Desh:
             embedding_config=cfg.embedding,
             chain_extractor=extractor,
             seed=cfg.seed,
-        ).train(parsed, train_classifier=train_classifier)
+        ).train(parsed, train_classifier=train_classifier, checkpoint=ckpt1)
         if not phase1.chains:
             raise TrainingError(
                 "phase 1 extracted no failure chains from the training data; "
@@ -204,7 +221,7 @@ class Desh:
             vocab_size=max(2, parser.num_phrases),
             config=cfg.phase2,
             seed=cfg.seed,
-        ).train(phase1.chains)
+        ).train(phase1.chains, checkpoint=ckpt2)
 
         predictor = Phase3Predictor(
             phase2.regressor,

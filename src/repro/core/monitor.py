@@ -10,52 +10,173 @@ growing episode with the phase-3 online mode, and emits one
 
 The per-episode single-alert rule mirrors real alerting practice: once a
 node is flagged, further events of the same episode do not re-alert;
-the buffer resets when the episode closes (terminal seen or the gap
-exceeds the episode window).
+the buffer closes when the episode ends (terminal seen — closed
+eagerly — or the inter-event gap exceeds the episode window).
+
+The monitor is hardened for unattended production use:
+
+* per-node episode buffers are **bounded** (oldest events dropped) and
+  the node table is **LRU-evicted** at a configurable capacity, so a
+  cluster-wide event storm cannot grow memory without bound;
+* a scoring failure on one node's episode degrades to a **counted
+  skip** instead of killing the feed loop — one poisoned episode must
+  not take down the monitor for every other node;
+* raw lines can be fed directly through the hardened ingest front-end
+  (:meth:`feed_line` / :meth:`run_lines`), which quarantines
+  unparseable input against an error budget;
+* :meth:`health` returns a stats snapshot for operator dashboards.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
+from ..errors import ConfigError, PredictionError
 from ..events import Label, ParsedEvent
 from ..simlog.record import LogRecord
 from ..topology.cray import CrayNodeId
 from .alerts import FailureWarning
 from .desh import DeshModel
 
-__all__ = ["StreamingMonitor"]
+__all__ = ["StreamingMonitor", "MonitorHealth"]
+
+
+@dataclass(frozen=True)
+class MonitorHealth:
+    """Point-in-time stats snapshot of a :class:`StreamingMonitor`."""
+
+    records_seen: int
+    warnings_raised: int
+    open_episodes: int
+    tracked_nodes: int
+    degraded_skips: int
+    events_evicted: int
+    nodes_evicted: int
+    episodes_closed: int
+    ingest: "dict | None" = field(default=None)
+
+    def as_dict(self) -> dict:
+        """The snapshot as a plain dict (for JSON dashboards)."""
+        out = {
+            "records_seen": self.records_seen,
+            "warnings_raised": self.warnings_raised,
+            "open_episodes": self.open_episodes,
+            "tracked_nodes": self.tracked_nodes,
+            "degraded_skips": self.degraded_skips,
+            "events_evicted": self.events_evicted,
+            "nodes_evicted": self.nodes_evicted,
+            "episodes_closed": self.episodes_closed,
+        }
+        if self.ingest is not None:
+            out["ingest"] = self.ingest
+        return out
 
 
 class StreamingMonitor:
-    """Per-node streaming episode tracker over a trained Desh model."""
+    """Per-node streaming episode tracker over a trained Desh model.
 
-    def __init__(self, model: DeshModel, *, episode_gap: float = 600.0) -> None:
+    Parameters
+    ----------
+    model:
+        The trained :class:`~repro.core.desh.DeshModel` to score with.
+    episode_gap:
+        Inter-event gap (seconds) that closes an episode.
+    max_nodes:
+        Capacity of the per-node buffer table; the least recently active
+        node is evicted when a new node would exceed it.
+    max_events_per_node:
+        Cap on one node's open episode buffer; the oldest buffered event
+        is dropped to admit a new one.
+    ingest_config:
+        Optional :class:`~repro.resilience.IngestConfig` for the
+        raw-line path (:meth:`feed_line` / :meth:`run_lines`).
+    """
+
+    def __init__(
+        self,
+        model: DeshModel,
+        *,
+        episode_gap: float = 600.0,
+        max_nodes: int = 4096,
+        max_events_per_node: int = 512,
+        ingest_config=None,
+    ) -> None:
+        if max_nodes < 1:
+            raise ConfigError(f"max_nodes must be >= 1, got {max_nodes}")
+        if max_events_per_node < 2:
+            raise ConfigError(
+                f"max_events_per_node must be >= 2, got {max_events_per_node}"
+            )
         self.model = model
         self.gap = episode_gap
-        self._buffers: dict[CrayNodeId, list[ParsedEvent]] = {}
+        self.max_nodes = max_nodes
+        self.max_events_per_node = max_events_per_node
+        self._buffers: "OrderedDict[CrayNodeId, list[ParsedEvent]]" = OrderedDict()
         self._alerted: set[CrayNodeId] = set()
+        self._ingestor = None
+        self._ingest_config = ingest_config
         self.records_seen = 0
         self.warnings_raised = 0
+        self.degraded_skips = 0
+        self.events_evicted = 0
+        self.nodes_evicted = 0
+        self.episodes_closed = 0
 
     # ------------------------------------------------------------------
     def feed(self, record: LogRecord) -> Optional[FailureWarning]:
         """Consume one record; returns a warning when a flag fires.
 
         Safe-labeled, out-of-vocabulary and system-level records never
-        alert.  A node alerts at most once per episode.
+        alert.  A node alerts at most once per episode.  A per-node
+        scoring failure (:class:`~repro.errors.PredictionError`) is
+        converted into a counted degraded-mode skip — the monitor keeps
+        serving every other node.
         """
         self.records_seen += 1
         event = self.model.parser.encode(record)
         if event is None or event.node is None or event.label == Label.SAFE:
             return None
-        buf = self._buffers.setdefault(event.node, [])
-        if buf and (
-            event.timestamp - buf[-1].timestamp > self.gap or buf[-1].terminal
-        ):
+        buf = self._touch(event.node)
+        if buf and event.timestamp - buf[-1].timestamp > self.gap:
             buf.clear()
             self._alerted.discard(event.node)
+            self.episodes_closed += 1
+        if len(buf) >= self.max_events_per_node:
+            del buf[0]
+            self.events_evicted += 1
         buf.append(event)
+        try:
+            warning = self._maybe_alert(event, buf)
+        except PredictionError:
+            self.degraded_skips += 1
+            warning = None
+        if event.terminal:
+            # Close terminal episodes eagerly: the node went down, so
+            # its next record necessarily starts a fresh episode, and
+            # pending_nodes() must not report the dead episode as open.
+            self._buffers.pop(event.node, None)
+            self._alerted.discard(event.node)
+            self.episodes_closed += 1
+        return warning
+
+    def _touch(self, node: CrayNodeId) -> list[ParsedEvent]:
+        """LRU-access *node*'s buffer, evicting the coldest at capacity."""
+        buf = self._buffers.get(node)
+        if buf is None:
+            while len(self._buffers) >= self.max_nodes:
+                evicted, _ = self._buffers.popitem(last=False)
+                self._alerted.discard(evicted)
+                self.nodes_evicted += 1
+            buf = self._buffers[node] = []
+        else:
+            self._buffers.move_to_end(node)
+        return buf
+
+    def _maybe_alert(
+        self, event: ParsedEvent, buf: list[ParsedEvent]
+    ) -> Optional[FailureWarning]:
         if event.node in self._alerted:
             return None
         flagged, mse, lead = self.model.predictor.score_partial(buf)
@@ -86,6 +207,53 @@ class StreamingMonitor:
                 yield warning
 
     # ------------------------------------------------------------------
+    # raw-line path (hardened ingest front-end)
+    # ------------------------------------------------------------------
+    def _get_ingestor(self):
+        if self._ingestor is None:
+            from ..resilience.ingest import HardenedIngestor
+
+            self._ingestor = HardenedIngestor(self._ingest_config)
+        return self._ingestor
+
+    def feed_line(self, line: str) -> Optional[FailureWarning]:
+        """Consume one *raw* log line through the hardened ingest path.
+
+        Unparseable lines are quarantined (raising
+        :class:`~repro.errors.IngestError` only past the configured
+        error budget) and duplicates within the dedup window dropped;
+        surviving records go through :meth:`feed`.
+        """
+        record = self._get_ingestor().accept_line(line)
+        if record is None:
+            return None
+        return self.feed(record)
+
+    def run_lines(self, lines: Iterable[str]) -> Iterator[FailureWarning]:
+        """Replay a raw-line feed; yields warnings as they fire."""
+        for line in lines:
+            warning = self.feed_line(line)
+            if warning is not None:
+                yield warning
+
+    # ------------------------------------------------------------------
+    def health(self) -> MonitorHealth:
+        """Stats snapshot: counters, open state, and ingest accounting."""
+        ingest = (
+            self._ingestor.stats.as_dict() if self._ingestor is not None else None
+        )
+        return MonitorHealth(
+            records_seen=self.records_seen,
+            warnings_raised=self.warnings_raised,
+            open_episodes=sum(1 for buf in self._buffers.values() if buf),
+            tracked_nodes=len(self._buffers),
+            degraded_skips=self.degraded_skips,
+            events_evicted=self.events_evicted,
+            nodes_evicted=self.nodes_evicted,
+            episodes_closed=self.episodes_closed,
+            ingest=ingest,
+        )
+
     def pending_nodes(self) -> list[CrayNodeId]:
         """Nodes with an open (non-empty) anomalous episode."""
         return [node for node, buf in self._buffers.items() if buf]
@@ -94,3 +262,5 @@ class StreamingMonitor:
         """Clear all per-node state (e.g. after a maintenance window)."""
         self._buffers.clear()
         self._alerted.clear()
+        if self._ingestor is not None:
+            self._ingestor.reset()

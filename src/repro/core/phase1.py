@@ -77,13 +77,21 @@ class Phase1Trainer:
 
     # ------------------------------------------------------------------
     def train(
-        self, parsed: ParseResult, *, train_classifier: bool = True
+        self,
+        parsed: ParseResult,
+        *,
+        train_classifier: bool = True,
+        checkpoint=None,
     ) -> Phase1Result:
         """Train embeddings + sequence LSTM, then extract failure chains.
 
         ``train_classifier=False`` skips the (comparatively expensive)
         LSTM fit when only the chains are needed — e.g. in benches that
-        evaluate downstream stages in isolation.
+        evaluate downstream stages in isolation.  ``checkpoint``
+        (a :class:`~repro.resilience.CheckpointManager`) makes the LSTM
+        fit resumable at epoch granularity; everything upstream of the
+        LSTM (embeddings, windows) is deterministic given the seed and
+        is simply recomputed on resume.
         """
         if len(parsed) == 0:
             raise TrainingError("phase 1 received no parsed events")
@@ -130,6 +138,7 @@ class Phase1Trainer:
                 optimizer=SGD(cfg.learning_rate, momentum=cfg.momentum),
                 grad_clip=cfg.grad_clip,
                 rng=np.random.default_rng(self.seed + 1),
+                checkpoint=checkpoint,
             )
             accuracy = classifier.accuracy(x, y)
 

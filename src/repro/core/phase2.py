@@ -133,8 +133,16 @@ class Phase2Trainer:
         return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
 
     # ------------------------------------------------------------------
-    def train(self, chains: Sequence[FailureChain]) -> Phase2Result:
-        """Fit the regressor on all chains' delta-vector windows."""
+    def train(
+        self, chains: Sequence[FailureChain], *, checkpoint=None
+    ) -> Phase2Result:
+        """Fit the regressor on all chains' delta-vector windows.
+
+        ``checkpoint`` (a :class:`~repro.resilience.CheckpointManager`)
+        makes the regressor fit resumable at epoch granularity; window
+        construction is deterministic given the seed and recomputed on
+        resume.
+        """
         cfg = self.config
         x, y = self.build_windows(chains)
         regressor = SequenceRegressor(
@@ -152,6 +160,7 @@ class Phase2Trainer:
             optimizer=RMSprop(cfg.learning_rate, rho=cfg.rho),
             grad_clip=cfg.grad_clip,
             rng=np.random.default_rng(self.seed + 2),
+            checkpoint=checkpoint,
         )
         return Phase2Result(
             regressor=regressor,

@@ -24,6 +24,9 @@ __all__ = [
     "PredictionError",
     "DatasetError",
     "SerializationError",
+    "IngestError",
+    "CheckpointError",
+    "ParallelError",
 ]
 
 
@@ -89,3 +92,15 @@ class DatasetError(ReproError, ValueError):
 
 class SerializationError(ReproError, RuntimeError):
     """A model or vocabulary could not be saved or loaded."""
+
+
+class IngestError(ReproError, RuntimeError):
+    """The hardened ingest front-end exceeded its bad-line error budget."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A training checkpoint could not be written, read, or verified."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """A parallel map chunk failed; carries the chunk index for diagnosis."""

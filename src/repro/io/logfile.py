@@ -38,23 +38,40 @@ def write_log(path: str | Path, records: Iterable[LogRecord]) -> int:
 
 
 def iter_lines(path: str | Path) -> Iterator[str]:
-    """Stream the raw lines of a (possibly gzipped) log file."""
+    """Stream the raw lines of a (possibly gzipped) log file.
+
+    Blank and whitespace-only lines are skipped.  Invalid UTF-8 byte
+    sequences are decoded with replacement characters instead of
+    aborting the stream — a single mangled line must not kill a
+    multi-GB replay; the replacement-riddled line then fails parsing
+    downstream and is quarantined or skipped there.
+    """
     path = Path(path)
-    with _opener(path)(path, "rt") as fh:
+    with _opener(path)(path, "rt", errors="replace") as fh:
         for line in fh:
             line = line.rstrip("\n")
-            if line:
+            if line.strip():
                 yield line
 
 
 def read_records(
-    path: str | Path, *, strict: bool = True
+    path: str | Path, *, strict: bool = True, ingestor=None
 ) -> Iterator[LogRecord]:
     """Stream parsed records from a log file.
 
     With ``strict=False`` unparseable lines are skipped instead of
     raising — real log files contain truncated or corrupt lines.
+
+    Passing a :class:`~repro.resilience.HardenedIngestor` as
+    ``ingestor`` routes the lines through the hardened front-end
+    instead: unparseable lines are quarantined against an error budget,
+    exact duplicates are dropped, and mildly out-of-order records are
+    re-sorted; the ingestor's ``stats`` and ``dead_letters`` carry the
+    full accounting afterwards.
     """
+    if ingestor is not None:
+        yield from ingestor.ingest_lines(iter_lines(path))
+        return
     for lineno, line in enumerate(iter_lines(path), start=1):
         try:
             yield parse_line(line)

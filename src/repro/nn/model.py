@@ -36,6 +36,37 @@ def _merge_params(*sources: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
     return out
 
 
+def _resume_fit(model, checkpoint, opt, rng) -> int:
+    """Restore params/optimizer/rng/history from the newest checkpoint.
+
+    Returns the number of already-completed epochs (0 when the manager
+    holds no checkpoint yet).
+    """
+    from ..resilience.checkpoint import restore_fit_state
+
+    resumed = checkpoint.load_latest()
+    if resumed is None:
+        return 0
+    _, arrays, meta = resumed
+    epoch = restore_fit_state(arrays, meta, model.params(), opt, rng)
+    model.history = [float(v) for v in meta.get("history", [])]
+    return epoch
+
+
+def _checkpoint_fit(model, checkpoint, opt, rng, epoch: int) -> None:
+    """Write an epoch-granular checkpoint of the in-progress fit."""
+    from ..resilience.checkpoint import pack_fit_state
+
+    arrays, meta = pack_fit_state(
+        model.params(),
+        opt,
+        rng,
+        epoch=epoch,
+        extra_meta={"history": [float(v) for v in model.history]},
+    )
+    checkpoint.save(epoch, arrays, meta)
+
+
 class SequenceClassifier:
     """Next-phrase classifier: Embedding -> StackedLSTM -> k softmax heads.
 
@@ -134,10 +165,15 @@ class SequenceClassifier:
         optimizer: _OptimizerBase | None = None,
         grad_clip: float = 5.0,
         rng: np.random.Generator | None = None,
+        checkpoint=None,
     ) -> list[float]:
         """Train on ``(N, T)`` windows and ``(N, steps)`` targets.
 
         Returns the per-epoch mean losses (also kept in ``self.history``).
+        Passing a :class:`~repro.resilience.CheckpointManager` as
+        ``checkpoint`` writes an atomic checkpoint after every epoch and
+        resumes from the newest one on entry, replaying the remaining
+        epochs bit-identically to an uninterrupted run.
         """
         x = np.asarray(x)
         y = np.asarray(y)
@@ -149,7 +185,10 @@ class SequenceClassifier:
             raise TrainingError("no training windows")
         opt = optimizer if optimizer is not None else SGD(0.5, momentum=0.9)
         rng = rng if rng is not None else np.random.default_rng(self.seed)
-        for _ in range(epochs):
+        start_epoch = 0
+        if checkpoint is not None:
+            start_epoch = _resume_fit(self, checkpoint, opt, rng)
+        for epoch in range(start_epoch, epochs):
             epoch_loss = 0.0
             batches = 0
             for idx in batch_iterator(len(x), batch_size, rng):
@@ -170,6 +209,8 @@ class SequenceClassifier:
                 epoch_loss += loss
                 batches += 1
             self.history.append(epoch_loss / max(batches, 1))
+            if checkpoint is not None:
+                _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
         self._fitted = True
         return self.history
 
@@ -349,8 +390,13 @@ class SequenceRegressor:
         optimizer: _OptimizerBase | None = None,
         grad_clip: float = 5.0,
         rng: np.random.Generator | None = None,
+        checkpoint=None,
     ) -> list[float]:
-        """Train on ``(N, T, D)`` windows and ``(N, D_out)`` targets."""
+        """Train on ``(N, T, D)`` windows and ``(N, D_out)`` targets.
+
+        ``checkpoint`` behaves as in :meth:`SequenceClassifier.fit`:
+        per-epoch atomic checkpoints with bit-identical resume.
+        """
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if x.ndim != 3 or y.shape != (x.shape[0], self.output_dim):
@@ -362,7 +408,10 @@ class SequenceRegressor:
             raise TrainingError("no training windows")
         opt = optimizer if optimizer is not None else RMSprop(0.002)
         rng = rng if rng is not None else np.random.default_rng(self.seed)
-        for _ in range(epochs):
+        start_epoch = 0
+        if checkpoint is not None:
+            start_epoch = _resume_fit(self, checkpoint, opt, rng)
+        for epoch in range(start_epoch, epochs):
             epoch_loss = 0.0
             batches = 0
             for idx in batch_iterator(len(x), batch_size, rng):
@@ -376,6 +425,8 @@ class SequenceRegressor:
                 epoch_loss += loss
                 batches += 1
             self.history.append(epoch_loss / max(batches, 1))
+            if checkpoint is not None:
+                _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
         self._fitted = True
         return self.history
 

@@ -54,6 +54,35 @@ class _OptimizerBase:
             self._state[key] = slot
         return slot
 
+    def state_dict(self) -> tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Snapshot the slot arrays and hyper-state for checkpointing.
+
+        Returns ``(arrays, extra)`` where *arrays* flattens every slot
+        to ``"<param key>##<slot name>"`` and *extra* holds the
+        JSON-serializable hyper-state (the learning rate, which decay
+        schedules mutate).  Subclasses with extra scalar state (Adam's
+        per-key timestep) extend *extra*.
+        """
+        arrays = {
+            f"{key}##{name}": arr
+            for key, slot in self._state.items()
+            for name, arr in slot.items()
+        }
+        return arrays, {"learning_rate": self.learning_rate}
+
+    def load_state_dict(
+        self, arrays: Mapping[str, np.ndarray], extra: Mapping[str, object]
+    ) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._state = {}
+        for flat, arr in arrays.items():
+            key, sep, name = flat.rpartition("##")
+            if not sep:
+                raise ConfigError(f"malformed optimizer state key {flat!r}")
+            self._state.setdefault(key, {})[name] = np.array(arr, copy=True)
+        if "learning_rate" in extra:
+            self.learning_rate = float(extra["learning_rate"])  # type: ignore[arg-type]
+
     def step(
         self, params: Mapping[str, np.ndarray], grads: Mapping[str, np.ndarray]
     ) -> None:
@@ -135,6 +164,19 @@ class Adam(_OptimizerBase):
         self.beta2 = beta2
         self.eps = eps
         self._t: Dict[str, int] = {}
+
+    def state_dict(self) -> tuple[Dict[str, np.ndarray], Dict[str, object]]:
+        """Snapshot slots plus the per-key bias-correction timesteps."""
+        arrays, extra = super().state_dict()
+        extra["t"] = dict(self._t)
+        return arrays, extra
+
+    def load_state_dict(
+        self, arrays: Mapping[str, np.ndarray], extra: Mapping[str, object]
+    ) -> None:
+        """Restore slots and the per-key bias-correction timesteps."""
+        super().load_state_dict(arrays, extra)
+        self._t = {k: int(v) for k, v in dict(extra.get("t", {})).items()}
 
     def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
         slot = self._slot(key, p, "m", "v")

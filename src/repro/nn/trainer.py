@@ -95,6 +95,7 @@ def fit_with_validation(
     batch_size: int = 32,
     grad_clip: float = 5.0,
     seed: int = 0,
+    checkpoint=None,
 ) -> TrainingHistory:
     """Train *model* with a held-out validation split and early stopping.
 
@@ -109,6 +110,14 @@ def fit_with_validation(
         held out.
     val_loss_fn:
         ``f(model, x_val, y_val) -> float`` evaluated after each epoch.
+    checkpoint:
+        Optional :class:`~repro.resilience.CheckpointManager`.  When
+        given, an atomic checkpoint (weights, optimizer slots, early
+        stopping counters, loss histories) is written after every epoch
+        and the newest intact one is resumed from on entry, so a killed
+        run continues to bit-identical weights: the validation split and
+        the per-epoch batch rngs are derived deterministically from
+        ``seed``, leaving no hidden state outside the checkpoint.
     """
     cfg = config if config is not None else EarlyStoppingConfig()
     if len(x) != len(y):
@@ -125,7 +134,25 @@ def fit_with_validation(
     history = TrainingHistory()
     best = float("inf")
     bad_epochs = 0
-    for epoch in range(cfg.max_epochs):
+    start_epoch = 0
+    if checkpoint is not None:
+        resumed = checkpoint.load_latest()
+        if resumed is not None:
+            from ..resilience.checkpoint import restore_fit_state
+
+            _, arrays, meta = resumed
+            start_epoch = restore_fit_state(
+                arrays, meta, model.params(), optimizer, None
+            )
+            history.train_losses = [float(v) for v in meta.get("train_losses", [])]
+            history.val_losses = [float(v) for v in meta.get("val_losses", [])]
+            history.best_epoch = int(meta.get("best_epoch", -1))
+            history.stopped_early = bool(meta.get("stopped_early", False))
+            best = float(meta.get("best", float("inf")))
+            bad_epochs = int(meta.get("bad_epochs", 0))
+            if history.stopped_early:
+                return history
+    for epoch in range(start_epoch, cfg.max_epochs):
         losses = model.fit(
             x_train,
             y_train,
@@ -148,5 +175,24 @@ def fit_with_validation(
                 optimizer.learning_rate *= cfg.lr_decay
             if bad_epochs >= cfg.patience:
                 history.stopped_early = True
-                break
+        if checkpoint is not None:
+            from ..resilience.checkpoint import pack_fit_state
+
+            arrays, meta = pack_fit_state(
+                model.params(),
+                optimizer,
+                None,
+                epoch=epoch + 1,
+                extra_meta={
+                    "train_losses": history.train_losses,
+                    "val_losses": history.val_losses,
+                    "best_epoch": history.best_epoch,
+                    "stopped_early": history.stopped_early,
+                    "best": best,
+                    "bad_epochs": bad_epochs,
+                },
+            )
+            checkpoint.save(epoch + 1, arrays, meta)
+        if history.stopped_early:
+            break
     return history

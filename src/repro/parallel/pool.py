@@ -11,7 +11,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ParallelError
 
 __all__ = ["ordered_parallel_map"]
 
@@ -69,6 +69,18 @@ def ordered_parallel_map(
     with executor_cls(max_workers=max_workers) as pool:
         futures = [pool.submit(_apply_chunk, fn, chunk) for chunk in chunks]
         out: list[R] = []
-        for fut in futures:  # submission order == input order
-            out.extend(fut.result())
+        for i, fut in enumerate(futures):  # submission order == input order
+            try:
+                out.extend(fut.result())
+            except Exception as exc:
+                # Don't leave queued chunks running after a failure:
+                # cancel whatever has not started, then surface which
+                # chunk blew up (the original exception is chained).
+                for pending in futures[i + 1 :]:
+                    pending.cancel()
+                raise ParallelError(
+                    f"chunk {i + 1}/{len(chunks)} "
+                    f"(items {i * chunk_size}..{i * chunk_size + len(chunks[i]) - 1}) "
+                    f"failed: {exc}"
+                ) from exc
     return out

@@ -25,10 +25,17 @@ __all__ = ["LogParser", "ParseResult"]
 
 @dataclass
 class ParseResult:
-    """Parsed event streams plus per-node segmentation helpers."""
+    """Parsed event streams plus per-node segmentation helpers.
+
+    ``ingest_stats`` is populated when the records came through the
+    hardened ingest front-end (:meth:`LogParser.transform_lines`), so
+    callers can account for quarantined/deduplicated raw lines in
+    addition to the ``skipped`` out-of-vocabulary records.
+    """
 
     events: list[ParsedEvent]
     skipped: int = 0
+    ingest_stats: "object | None" = field(default=None, compare=False)
 
     def by_node(self) -> dict[Optional[CrayNodeId], EventSequence]:
         """Per-node event sequences (phase-3 batching unit)."""
@@ -144,6 +151,26 @@ class LogParser:
                 events.append(event)
         events.sort()
         return ParseResult(events=events, skipped=skipped)
+
+    def transform_lines(
+        self, lines: Iterable[str], *, ingestor=None
+    ) -> ParseResult:
+        """Encode a *raw line* stream through the hardened ingest path.
+
+        Lines are parsed by a :class:`~repro.resilience.HardenedIngestor`
+        (a default-configured one is created when *ingestor* is omitted):
+        unparseable lines are quarantined against the ingestor's error
+        budget, duplicates dropped, and mild reordering repaired, before
+        the surviving records are encoded exactly as :meth:`transform`
+        does.  The result carries the ingest stats.
+        """
+        if ingestor is None:
+            from ..resilience.ingest import HardenedIngestor
+
+            ingestor = HardenedIngestor()
+        result = self.transform(ingestor.ingest_lines(lines))
+        result.ingest_stats = ingestor.stats
+        return result
 
     def fit_transform(self, records: Sequence[LogRecord]) -> ParseResult:
         """Fit on *records* then encode the same records."""

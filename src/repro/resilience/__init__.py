@@ -1,0 +1,41 @@
+"""Chaos hardening: fault injection, quarantining ingest, checkpoints.
+
+Desh's value is operational — warning *before* a node dies — but real
+syslog feeds arrive corrupted, truncated, duplicated and out of order,
+and multi-hour training runs die mid-epoch.  This package makes the
+pipeline survive hostile inputs and interruptions with *measured,
+bounded* degradation:
+
+* :mod:`~repro.resilience.chaos` — a seeded, deterministic fault
+  injector over raw line streams (corruption, truncation, duplication,
+  bounded reordering, clock skew, chunk drops, garbage interleaving);
+* :mod:`~repro.resilience.ingest` — a hardened ingest front-end with a
+  capped dead-letter quarantine, an error budget, sliding-window
+  deduplication and a bounded re-sorting heap;
+* :mod:`~repro.resilience.checkpoint` — atomic, checksummed,
+  epoch-granular checkpoint/resume for both LSTM fits, restoring to
+  bit-identical weights;
+* :mod:`~repro.resilience.harness` — the clean-vs-chaos evaluation
+  harness behind ``repro chaos`` and the degradation benchmarks.
+"""
+
+from .chaos import FAULT_PROFILES, ChaosInjector, ChaosStats, FaultProfile
+from .checkpoint import CheckpointManager, pack_fit_state, restore_fit_state
+from .harness import ChaosReport, chaos_evaluation
+from .ingest import DeadLetter, HardenedIngestor, IngestConfig, IngestStats
+
+__all__ = [
+    "FAULT_PROFILES",
+    "ChaosInjector",
+    "ChaosStats",
+    "FaultProfile",
+    "CheckpointManager",
+    "pack_fit_state",
+    "restore_fit_state",
+    "ChaosReport",
+    "chaos_evaluation",
+    "DeadLetter",
+    "HardenedIngestor",
+    "IngestConfig",
+    "IngestStats",
+]

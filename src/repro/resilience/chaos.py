@@ -1,0 +1,314 @@
+"""Seeded, deterministic fault injection for log-line streams.
+
+Real Cray syslog feeds do not arrive clean: forwarding daemons corrupt
+and truncate lines, retransmissions duplicate them, multi-path relays
+deliver them out of order, whole chunks vanish when a relay restarts,
+and unrelated binary garbage gets interleaved.  :class:`ChaosInjector`
+reproduces all of these fault modes *deterministically* — the same
+profile and seed always yield the same faulted stream — so the
+pipeline's degradation under hostile input can be measured and asserted
+in tests rather than discovered in production.
+
+The injector operates on raw text lines (the lowest common denominator:
+everything downstream, including the hardened ingest front-end, consumes
+lines) and keeps full per-fault counters so a chaos evaluation can
+account for every byte it damaged.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+import string
+from dataclasses import dataclass, field, fields
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import derive_seed
+from ..simlog.record import LogRecord, render_line
+
+__all__ = ["FaultProfile", "ChaosStats", "ChaosInjector", "FAULT_PROFILES"]
+
+_TS_RE = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6}")
+_TS_FMT = "%Y-%m-%dT%H:%M:%S.%f"
+
+# Printable noise used for corruption and garbage lines; excludes newline
+# so injected lines stay single lines.
+_NOISE_CHARS = string.ascii_letters + string.digits + string.punctuation + " "
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates and bounds of one fault model.
+
+    All ``*_rate`` fields are independent per-line probabilities in
+    ``[0, 1]``.  ``reorder_window`` bounds how far a line may be
+    displaced from its original position (0 disables reordering);
+    ``clock_skew_seconds`` is the maximum absolute timestamp perturbation
+    applied to ``skew_rate`` of the lines; ``drop_chunk`` is the length
+    of the run of consecutive lines removed when a drop fires.
+
+    Attributes
+    ----------
+    corrupt_rate:
+        Probability a line has a random span of characters overwritten
+        with printable noise.
+    truncate_rate:
+        Probability a line is cut off mid-line at a random column.
+    duplicate_rate:
+        Probability a line is emitted twice back to back.
+    drop_rate:
+        Probability a run of ``drop_chunk`` consecutive lines (starting
+        at this one) is silently discarded.
+    garbage_rate:
+        Probability a random garbage line is interleaved before this one.
+    skew_rate:
+        Probability a line's timestamp is shifted by up to
+        ``clock_skew_seconds`` in either direction.
+    reorder_window:
+        Size of the shuffle buffer; each emitted line is drawn randomly
+        from the buffered window, bounding displacement to the window.
+    clock_skew_seconds:
+        Maximum absolute clock skew applied by ``skew_rate`` faults.
+    drop_chunk:
+        Number of consecutive lines removed per drop fault.
+    """
+
+    corrupt_rate: float = 0.0
+    truncate_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    drop_rate: float = 0.0
+    garbage_rate: float = 0.0
+    skew_rate: float = 0.0
+    reorder_window: int = 0
+    clock_skew_seconds: float = 0.0
+    drop_chunk: int = 3
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name.endswith("_rate"):
+                value = getattr(self, f.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ConfigError(
+                        f"{f.name} must be in [0, 1], got {value!r}"
+                    )
+        if self.reorder_window < 0:
+            raise ConfigError(
+                f"reorder_window must be >= 0, got {self.reorder_window}"
+            )
+        if self.clock_skew_seconds < 0:
+            raise ConfigError(
+                f"clock_skew_seconds must be >= 0, got {self.clock_skew_seconds}"
+            )
+        if self.drop_chunk < 1:
+            raise ConfigError(f"drop_chunk must be >= 1, got {self.drop_chunk}")
+
+    def is_null(self) -> bool:
+        """True when the profile injects no faults at all."""
+        return (
+            self.corrupt_rate == 0.0
+            and self.truncate_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.drop_rate == 0.0
+            and self.garbage_rate == 0.0
+            and self.skew_rate == 0.0
+            and self.reorder_window == 0
+        )
+
+
+# Named profiles for the CLI, the benches and the chaos test protocol
+# (EXPERIMENTS.md).  "moderate" is the acceptance profile: 5% corruption
+# plus bounded reordering.
+FAULT_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(),
+    "mild": FaultProfile(
+        corrupt_rate=0.01,
+        duplicate_rate=0.01,
+        reorder_window=4,
+    ),
+    "moderate": FaultProfile(
+        corrupt_rate=0.05,
+        duplicate_rate=0.02,
+        reorder_window=8,
+        skew_rate=0.02,
+        clock_skew_seconds=2.0,
+    ),
+    "severe": FaultProfile(
+        corrupt_rate=0.10,
+        truncate_rate=0.05,
+        duplicate_rate=0.05,
+        drop_rate=0.01,
+        garbage_rate=0.03,
+        skew_rate=0.05,
+        reorder_window=16,
+        clock_skew_seconds=5.0,
+    ),
+}
+
+
+@dataclass
+class ChaosStats:
+    """Counters of every fault the injector applied."""
+
+    lines_in: int = 0
+    lines_out: int = 0
+    corrupted: int = 0
+    truncated: int = 0
+    duplicated: int = 0
+    dropped: int = 0
+    garbage_injected: int = 0
+    skewed: int = 0
+    reordered: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (for JSON reports)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def faults_applied(self) -> int:
+        """Total number of individual fault events applied."""
+        return (
+            self.corrupted
+            + self.truncated
+            + self.duplicated
+            + self.dropped
+            + self.garbage_injected
+            + self.skewed
+            + self.reordered
+        )
+
+
+class ChaosInjector:
+    """Apply a :class:`FaultProfile` to a line stream, deterministically.
+
+    The injector owns a private RNG derived from ``(seed, "chaos")`` via
+    the package's seed-derivation scheme, so two injectors with the same
+    profile and seed produce bit-identical output for the same input —
+    the property the chaos tests rely on.
+    """
+
+    def __init__(self, profile: FaultProfile, *, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.stats = ChaosStats()
+        self._rng = np.random.default_rng(derive_seed(seed, "chaos"))
+
+    # ------------------------------------------------------------------
+    # per-line fault transforms
+    # ------------------------------------------------------------------
+    def _noise(self, length: int) -> str:
+        idx = self._rng.integers(0, len(_NOISE_CHARS), length)
+        return "".join(_NOISE_CHARS[i] for i in idx)
+
+    def _corrupt(self, line: str) -> str:
+        if len(line) < 2:
+            return self._noise(8)
+        span = int(self._rng.integers(1, max(2, len(line) // 4)))
+        start = int(self._rng.integers(0, len(line) - span + 1))
+        return line[:start] + self._noise(span) + line[start + span :]
+
+    def _truncate(self, line: str) -> str:
+        if len(line) < 2:
+            return ""
+        cut = int(self._rng.integers(1, len(line)))
+        return line[:cut]
+
+    def _skew(self, line: str) -> str:
+        m = _TS_RE.match(line)
+        if m is None:
+            return line
+        try:
+            when = _dt.datetime.strptime(m.group(0), _TS_FMT)
+        except ValueError:  # pragma: no cover - regex prevalidates
+            return line
+        delta = float(
+            self._rng.uniform(
+                -self.profile.clock_skew_seconds, self.profile.clock_skew_seconds
+            )
+        )
+        skewed = when + _dt.timedelta(seconds=delta)
+        return skewed.strftime(_TS_FMT) + line[m.end() :]
+
+    # ------------------------------------------------------------------
+    # stream transforms
+    # ------------------------------------------------------------------
+    def _faulted(self, lines: Iterable[str]) -> Iterator[str]:
+        """Apply per-line faults (everything except reordering)."""
+        p = self.profile
+        drop_remaining = 0
+        for line in lines:
+            self.stats.lines_in += 1
+            if drop_remaining > 0:
+                drop_remaining -= 1
+                self.stats.dropped += 1
+                continue
+            if p.drop_rate > 0 and self._rng.random() < p.drop_rate:
+                self.stats.dropped += 1
+                drop_remaining = p.drop_chunk - 1
+                continue
+            if p.garbage_rate > 0 and self._rng.random() < p.garbage_rate:
+                self.stats.garbage_injected += 1
+                yield self._noise(int(self._rng.integers(5, 120)))
+            if p.skew_rate > 0 and self._rng.random() < p.skew_rate:
+                line = self._skew(line)
+                self.stats.skewed += 1
+            if p.corrupt_rate > 0 and self._rng.random() < p.corrupt_rate:
+                line = self._corrupt(line)
+                self.stats.corrupted += 1
+            if p.truncate_rate > 0 and self._rng.random() < p.truncate_rate:
+                line = self._truncate(line)
+                self.stats.truncated += 1
+            yield line
+            if p.duplicate_rate > 0 and self._rng.random() < p.duplicate_rate:
+                self.stats.duplicated += 1
+                yield line
+
+    def inject(self, lines: Iterable[str]) -> Iterator[str]:
+        """Yield the faulted version of *lines*.
+
+        Reordering draws each emitted line from a bounded shuffle buffer
+        of ``reorder_window`` pending lines, so no line is displaced
+        further than the window — the "mildly out of order" regime the
+        ingest front-end's re-sorting heap is sized for.
+        """
+        window = self.profile.reorder_window
+        if window <= 1:
+            for line in self._faulted(lines):
+                self.stats.lines_out += 1
+                yield line
+            return
+        buffer: list[str] = []
+        emitted_at: list[int] = []  # arrival order, parallel to buffer
+        arrival = 0
+        out_index = 0
+
+        def emit() -> str:
+            nonlocal out_index
+            # emitted_at is append-ordered, so index 0 is always the
+            # oldest buffered line; force it out once its displacement
+            # would reach the window, keeping |arrival - output| < window.
+            if out_index - emitted_at[0] >= window - 1:
+                pick = 0
+            else:
+                pick = int(self._rng.integers(0, len(buffer)))
+            if emitted_at[pick] != out_index:
+                self.stats.reordered += 1
+            del emitted_at[pick]
+            self.stats.lines_out += 1
+            out_index += 1
+            return buffer.pop(pick)
+
+        for line in self._faulted(lines):
+            buffer.append(line)
+            emitted_at.append(arrival)
+            arrival += 1
+            if len(buffer) >= window:
+                yield emit()
+        while buffer:
+            yield emit()
+
+    def inject_records(self, records: Iterable[LogRecord]) -> Iterator[str]:
+        """Render records to raw lines and inject faults into them."""
+        return self.inject(render_line(r) for r in records)

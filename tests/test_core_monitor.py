@@ -1,15 +1,32 @@
 """Tests for the streaming failure monitor."""
 
+import dataclasses
+
 import pytest
 
 from repro.core import StreamingMonitor
-from repro.simlog.record import LogRecord
+from repro.events import Label
+from repro.simlog.record import LogRecord, render_line
 from repro.topology import CrayNodeId
 
 
 @pytest.fixture
 def monitor(trained_model):
     return StreamingMonitor(trained_model)
+
+
+def _find_record(model, records, *, terminal):
+    """First record encoding to an anomalous (non-)terminal event."""
+    for record in records:
+        event = model.parser.encode(record)
+        if (
+            event is not None
+            and event.node is not None
+            and event.label != Label.SAFE
+            and event.terminal == terminal
+        ):
+            return record
+    raise AssertionError("no matching record in fixture log")
 
 
 class TestStreamingMonitor:
@@ -78,3 +95,119 @@ class TestStreamingMonitor:
         # With many failures per node over the horizon, repeated alerts
         # for one node across distinct episodes are expected.
         assert len(nodes) >= len(set(nodes))
+
+    def test_gap_exactly_at_boundary_keeps_episode_open(
+        self, trained_model, test_split
+    ):
+        """The close rule is strict: a gap of *exactly* episode_gap stays open."""
+        monitor = StreamingMonitor(trained_model, episode_gap=600.0)
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        monitor.feed(anomalous)
+        exactly = dataclasses.replace(
+            anomalous, timestamp=anomalous.timestamp + 600.0
+        )
+        monitor.feed(exactly)
+        assert monitor.episodes_closed == 0
+        assert len(monitor._buffers[anomalous.node]) == 2
+        # one microsecond past the gap closes it
+        beyond = dataclasses.replace(
+            anomalous, timestamp=anomalous.timestamp + 1200.000001
+        )
+        monitor.feed(beyond)
+        assert monitor.episodes_closed == 1
+        assert len(monitor._buffers[anomalous.node]) == 1
+
+    def test_terminal_event_closes_episode_eagerly(
+        self, trained_model, test_split
+    ):
+        """A terminal event must not linger in pending_nodes()."""
+        monitor = StreamingMonitor(trained_model)
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        terminal = _find_record(trained_model, test_split.records, terminal=True)
+        monitor.feed(anomalous)
+        down = dataclasses.replace(
+            terminal,
+            node=anomalous.node,
+            timestamp=anomalous.timestamp + 1.0,
+        )
+        monitor.feed(down)
+        assert anomalous.node not in monitor.pending_nodes()
+        assert monitor.episodes_closed == 1
+
+    def test_duplicate_records_buffer_both_in_record_path(
+        self, trained_model, test_split
+    ):
+        """feed() is dedup-free by design; dedup lives in the ingest path."""
+        monitor = StreamingMonitor(trained_model)
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        monitor.feed(anomalous)
+        monitor.feed(anomalous)
+        assert monitor.records_seen == 2
+        assert len(monitor._buffers[anomalous.node]) == 2
+
+    def test_duplicate_lines_dropped_in_line_path(
+        self, trained_model, test_split
+    ):
+        monitor = StreamingMonitor(trained_model)
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        line = render_line(anomalous)
+        monitor.feed_line(line)
+        monitor.feed_line(line)
+        health = monitor.health()
+        assert health.records_seen == 1
+        assert health.ingest["duplicates_dropped"] == 1
+
+    def test_lru_eviction_bounds_node_table(self, monitor, test_split):
+        bounded = StreamingMonitor(monitor.model, max_nodes=4)
+        for record in test_split.records:
+            bounded.feed(record)
+        assert len(bounded._buffers) <= 4
+        assert bounded.nodes_evicted > 0
+
+    def test_event_cap_bounds_episode_buffers(self, trained_model, test_split):
+        bounded = StreamingMonitor(trained_model, max_events_per_node=4)
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        for i in range(10):
+            bumped = dataclasses.replace(
+                anomalous, timestamp=anomalous.timestamp + 0.1 * i
+            )
+            bounded.feed(bumped)
+        assert len(bounded._buffers[anomalous.node]) == 4
+        assert bounded.events_evicted == 6
+
+    def test_prediction_error_degrades_to_counted_skip(
+        self, trained_model, test_split
+    ):
+        from repro.errors import PredictionError
+
+        monitor = StreamingMonitor(trained_model)
+
+        class _Poisoned:
+            def score_partial(self, buf):
+                raise PredictionError("poisoned episode")
+
+        monitor.model = dataclasses.replace(
+            trained_model, predictor=_Poisoned()
+        )
+        anomalous = _find_record(trained_model, test_split.records, terminal=False)
+        assert monitor.feed(anomalous) is None
+        assert monitor.degraded_skips == 1
+
+    def test_health_snapshot_counts(self, monitor, test_split):
+        warnings = list(monitor.run(test_split.records[:2000]))
+        health = monitor.health()
+        assert health.records_seen == 2000
+        assert health.warnings_raised == len(warnings)
+        assert health.open_episodes == len(monitor.pending_nodes())
+        assert health.ingest is None  # record path never built an ingestor
+        as_dict = health.as_dict()
+        assert as_dict["records_seen"] == 2000
+        assert "ingest" not in as_dict
+
+    def test_rejects_bad_bounds(self, trained_model):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            StreamingMonitor(trained_model, max_nodes=0)
+        with pytest.raises(ConfigError):
+            StreamingMonitor(trained_model, max_events_per_node=1)

@@ -21,6 +21,9 @@ ALL_ERRORS = [
     errors.PredictionError,
     errors.DatasetError,
     errors.SerializationError,
+    errors.IngestError,
+    errors.CheckpointError,
+    errors.ParallelError,
 ]
 
 
@@ -50,6 +53,14 @@ def test_vocabulary_error_is_key_error():
 
 def test_not_fitted_error_is_runtime_error():
     assert issubclass(errors.NotFittedError, RuntimeError)
+
+
+@pytest.mark.parametrize(
+    "exc", [errors.IngestError, errors.CheckpointError, errors.ParallelError]
+)
+def test_resilience_errors_are_runtime_errors(exc):
+    """Callers using stdlib idioms still catch operational failures."""
+    assert issubclass(exc, RuntimeError)
 
 
 def test_repro_error_does_not_catch_unrelated():

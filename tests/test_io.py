@@ -45,6 +45,40 @@ class TestLogFile:
         path.write_text("line one\n\nline two\n")
         assert list(iter_lines(path)) == ["line one", "line two"]
 
+    def test_iter_lines_skips_whitespace_only(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text("line one\n   \n\t\t\nline two\n \t \n")
+        assert list(iter_lines(path)) == ["line one", "line two"]
+
+    def test_iter_lines_survives_invalid_utf8(self, records, tmp_path):
+        from repro.simlog.record import render_line
+
+        path = tmp_path / "log.txt"
+        good = render_line(records[0])
+        path.write_bytes(
+            good.encode() + b"\n\xff\xfe broken \x80 bytes\n" + good.encode() + b"\n"
+        )
+        lines = list(iter_lines(path))
+        assert len(lines) == 3
+        assert lines[0] == lines[2] == good
+        # invalid bytes decoded with replacement, not raised
+        assert "�" in lines[1]
+
+    def test_invalid_utf8_quarantined_not_fatal(self, records, tmp_path):
+        from repro.resilience import HardenedIngestor
+        from repro.simlog.record import render_line
+
+        path = tmp_path / "log.txt"
+        payload = b"".join(
+            render_line(r).encode() + b"\n" for r in records[:5]
+        )
+        path.write_bytes(payload + b"\xc3\x28 mangled\n" + payload[:0])
+        ingestor = HardenedIngestor()
+        loaded = list(read_records(path, ingestor=ingestor))
+        assert loaded == records[:5]
+        assert ingestor.stats.quarantined == 1
+        assert ingestor.dead_letters[0].reason
+
     def test_strict_mode_raises_with_location(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("garbage line\n")

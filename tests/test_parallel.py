@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ParallelError
 from repro.events import EventSequence, ParsedEvent
 from repro.parallel import ordered_parallel_map, shard_sequences
 from repro.topology import CrayNodeId
@@ -55,6 +55,41 @@ class TestOrderedParallelMap:
 
         with pytest.raises(RuntimeError):
             ordered_parallel_map(boom, [1, 2], mode="thread")
+
+    def test_failure_names_chunk_and_chains_cause(self):
+        def boom(x):
+            if x == 7:
+                raise ValueError("poisoned item")
+            return x
+
+        with pytest.raises(ParallelError, match=r"chunk 4/5") as excinfo:
+            ordered_parallel_map(
+                boom, list(range(10)), max_workers=2, chunk_size=2
+            )
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_failure_cancels_outstanding_chunks(self):
+        import threading
+        import time
+
+        started = []
+        lock = threading.Lock()
+
+        def tracked(x):
+            with lock:
+                started.append(x)
+            if x == 0:
+                raise RuntimeError("first chunk dies")
+            time.sleep(0.01)
+            return x
+
+        # Chunk 0 fails immediately while later chunks are slow, so the
+        # queued tail must be cancelled rather than run to completion.
+        with pytest.raises(ParallelError):
+            ordered_parallel_map(
+                tracked, list(range(100)), max_workers=2, chunk_size=1
+            )
+        assert len(started) < 100
 
 
 def seq_of_length(node_index, n):

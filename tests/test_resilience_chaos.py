@@ -1,0 +1,189 @@
+"""Tests for the seeded fault injector and the chaos acceptance protocol."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    FAULT_PROFILES,
+    ChaosInjector,
+    FaultProfile,
+    HardenedIngestor,
+    chaos_evaluation,
+)
+from repro.simlog.record import parse_line, render_line
+
+
+@pytest.fixture
+def lines(small_log):
+    return [render_line(r) for r in small_log.records[:2000]]
+
+
+class TestFaultProfile:
+    def test_named_profiles_exist(self):
+        assert set(FAULT_PROFILES) == {"none", "mild", "moderate", "severe"}
+
+    def test_none_profile_is_null(self):
+        assert FAULT_PROFILES["none"].is_null()
+        assert not FAULT_PROFILES["moderate"].is_null()
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            FaultProfile(corrupt_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultProfile(drop_rate=-0.1)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultProfile(reorder_window=-1)
+        with pytest.raises(ConfigError):
+            FaultProfile(clock_skew_seconds=-2.0)
+        with pytest.raises(ConfigError):
+            FaultProfile(drop_chunk=0)
+
+
+class TestChaosInjector:
+    def test_null_profile_is_identity(self, lines):
+        injector = ChaosInjector(FAULT_PROFILES["none"], seed=1)
+        assert list(injector.inject(lines)) == lines
+        assert injector.stats.faults_applied == 0
+        assert injector.stats.lines_in == injector.stats.lines_out == len(lines)
+
+    def test_deterministic_for_same_seed(self, lines):
+        profile = FAULT_PROFILES["severe"]
+        a = list(ChaosInjector(profile, seed=9).inject(lines))
+        b = list(ChaosInjector(profile, seed=9).inject(lines))
+        assert a == b
+
+    def test_different_seeds_differ(self, lines):
+        profile = FAULT_PROFILES["severe"]
+        a = list(ChaosInjector(profile, seed=1).inject(lines))
+        b = list(ChaosInjector(profile, seed=2).inject(lines))
+        assert a != b
+
+    def test_stats_account_for_emitted_lines(self, lines):
+        injector = ChaosInjector(FAULT_PROFILES["severe"], seed=3)
+        out = list(injector.inject(lines))
+        s = injector.stats
+        assert s.lines_in == len(lines)
+        assert s.lines_out == len(out)
+        # emitted = in - dropped + duplicated + garbage
+        assert s.lines_out == s.lines_in - s.dropped + s.duplicated + s.garbage_injected
+
+    def test_corruption_applied_at_roughly_the_rate(self, lines):
+        profile = FaultProfile(corrupt_rate=0.05)
+        injector = ChaosInjector(profile, seed=4)
+        list(injector.inject(lines))
+        expected = 0.05 * len(lines)
+        assert expected * 0.4 <= injector.stats.corrupted <= expected * 2.0
+
+    def test_reordering_is_bounded_by_window(self):
+        # Unique synthetic lines so each one's displacement is traceable.
+        unique = [f"line-{i:05d}" for i in range(500)]
+        window = 8
+        injector = ChaosInjector(FaultProfile(reorder_window=window), seed=5)
+        out = list(injector.inject(unique))
+        assert sorted(out) == unique
+        assert injector.stats.reordered > 0
+        for j, line in enumerate(out):
+            assert abs(int(line.split("-")[1]) - j) < window
+
+    def test_clock_skew_rewrites_timestamp_parseably(self, lines):
+        profile = FaultProfile(skew_rate=1.0, clock_skew_seconds=3.0)
+        injector = ChaosInjector(profile, seed=6)
+        out = list(injector.inject(lines))
+        assert injector.stats.skewed == len(lines)
+        for original, skewed in zip(lines, out):
+            a, b = parse_line(original), parse_line(skewed)
+            assert abs(a.timestamp - b.timestamp) <= 3.0
+            assert a.message == b.message
+
+    def test_drop_removes_chunks(self, lines):
+        profile = FaultProfile(drop_rate=0.01, drop_chunk=3)
+        injector = ChaosInjector(profile, seed=7)
+        out = list(injector.inject(lines))
+        assert injector.stats.dropped > 0
+        assert len(out) == len(lines) - injector.stats.dropped
+
+    def test_inject_records_renders_then_faults(self, small_log):
+        records = list(small_log.records[:100])
+        injector = ChaosInjector(FAULT_PROFILES["none"], seed=0)
+        out = list(injector.inject_records(records))
+        assert out == [render_line(r) for r in records]
+
+
+@pytest.mark.chaos
+class TestChaosAcceptance:
+    """The ISSUE acceptance protocol: moderate faults, bounded damage."""
+
+    def test_moderate_chaos_completes_and_accounts_for_lines(
+        self, trained_model, test_split
+    ):
+        """5% corruption + reordering: no raise, full quarantine accounting."""
+        report = chaos_evaluation(
+            trained_model,
+            list(test_split.records),
+            test_split.ground_truth,
+            FAULT_PROFILES["moderate"],
+            seed=3,
+        )
+        assert report.lines_accounted
+        assert report.ingest_stats.quarantined > 0
+        assert report.dead_letters > 0
+        assert report.chaos_stats.reordered > 0
+
+    def test_moderate_recall_degrades_at_most_10pp(
+        self, trained_model, test_split
+    ):
+        report = chaos_evaluation(
+            trained_model,
+            list(test_split.records),
+            test_split.ground_truth,
+            FAULT_PROFILES["moderate"],
+            seed=3,
+        )
+        assert report.recall_delta <= 10.0, (
+            f"recall degraded {report.recall_delta:.1f}pp under moderate chaos"
+        )
+
+    def test_report_summary_renders(self, trained_model, test_split):
+        report = chaos_evaluation(
+            trained_model,
+            list(test_split.records[:3000]),
+            test_split.ground_truth,
+            FAULT_PROFILES["mild"],
+            seed=1,
+        )
+        text = report.summary()
+        assert "recall" in text
+        assert "dead letters" in text
+
+    def test_chaos_pipeline_deterministic(self, trained_model, test_split):
+        records = list(test_split.records[:3000])
+
+        def run():
+            injector = ChaosInjector(FAULT_PROFILES["moderate"], seed=11)
+            ingestor = HardenedIngestor()
+            return list(ingestor.ingest_lines(injector.inject_records(records)))
+
+        assert run() == run()
+
+
+class TestChaosCli:
+    def test_chaos_command_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["chaos", "--system", "M1", "--profile", "moderate", "--chaos-seed", "3"]
+        )
+        assert args.command == "chaos"
+        assert args.profile == "moderate"
+
+    def test_unknown_profile_is_clean_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["chaos", "--profile", "nope"])
+        assert code == 2
+        assert "unknown fault profile" in capsys.readouterr().err
