@@ -12,6 +12,8 @@ complete system and every substrate it depends on:
 * :mod:`repro.nn` — a from-scratch NumPy neural substrate (LSTM + BPTT,
   skip-gram embeddings, SGD/RMSprop/Adam),
 * :mod:`repro.core` — the three Desh phases and the ``Desh`` facade,
+* :mod:`repro.pipeline` — the staged training pipeline: typed stage
+  artifacts, fingerprint-keyed caching and full-model persistence,
 * :mod:`repro.analysis` — every metric, table and figure of the paper's
   evaluation,
 * :mod:`repro.baselines` — DeepLog, n-gram and severity-keyword
@@ -39,6 +41,7 @@ from .config import (
 )
 from .core import Desh, DeshModel, FailureWarning
 from .errors import ReproError
+from .pipeline import ArtifactStore, DeshPipeline, load_model, save_model
 from .events import EventSequence, Label, ParsedEvent
 from .simlog import generate_system, SYSTEM_PRESETS
 from .topology import ClusterTopology, CrayNodeId
@@ -55,6 +58,10 @@ __all__ = [
     "Phase3Config",
     "FailureWarning",
     "ReproError",
+    "ArtifactStore",
+    "DeshPipeline",
+    "save_model",
+    "load_model",
     "EventSequence",
     "Label",
     "ParsedEvent",

@@ -16,7 +16,13 @@
 """
 
 from .metrics import ConfusionCounts, PredictionMetrics
-from .evaluation import EpisodeKind, ScoredEpisode, Evaluator, EvaluationResult
+from .evaluation import (
+    EpisodeKind,
+    ScoredEpisode,
+    Evaluator,
+    EvaluationResult,
+    evaluate_model,
+)
 from .leadtime import LeadTimeStats, lead_times_by_class, lead_time_overall
 from .sensitivity import SensitivityPoint, sensitivity_sweep
 from .unknown import UnknownPhraseStats, unknown_phrase_analysis, sequence_examples
@@ -36,6 +42,7 @@ __all__ = [
     "ScoredEpisode",
     "Evaluator",
     "EvaluationResult",
+    "evaluate_model",
     "LeadTimeStats",
     "lead_times_by_class",
     "lead_time_overall",

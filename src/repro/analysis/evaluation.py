@@ -28,7 +28,13 @@ from ..simlog.faults import FailureClass
 from ..simlog.generator import FailureEvent, GroundTruth
 from .metrics import ConfusionCounts, PredictionMetrics
 
-__all__ = ["EpisodeKind", "ScoredEpisode", "Evaluator", "EvaluationResult"]
+__all__ = [
+    "EpisodeKind",
+    "ScoredEpisode",
+    "Evaluator",
+    "EvaluationResult",
+    "evaluate_model",
+]
 
 
 class EpisodeKind(enum.Enum):
@@ -155,3 +161,29 @@ class Evaluator:
             uncovered_failures=uncovered,
             counts=ConfusionCounts(tp=tp, fp=fp, fn=fn, tn=tn),
         )
+
+
+def evaluate_model(
+    model,
+    records: Sequence,
+    ground_truth: GroundTruth,
+    *,
+    store=None,
+    workers: int = 1,
+    slack: float = 30.0,
+) -> EvaluationResult:
+    """Score *model* over raw *records* and tally against *ground_truth*.
+
+    With *store* (a :class:`~repro.pipeline.ArtifactStore`), the encoded
+    test stream is cached keyed by (vocabulary, records) — repeated
+    evaluations of the same log skip the parse entirely and only re-run
+    phase-3 scoring.  ``store=None`` parses inline (no caching).
+    """
+    from ..pipeline.facade import cached_transform
+
+    parsed = cached_transform(model.parser, records, store)
+    sequences = [
+        seq for seq in parsed.by_node().values() if seq.node is not None
+    ]
+    verdicts = model.score_sequences(sequences, workers=workers)
+    return Evaluator(ground_truth, slack=slack).evaluate(verdicts)

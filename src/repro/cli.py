@@ -5,18 +5,25 @@ Commands
 ``generate``
     Write a synthetic system log (and its ground truth) to disk.
 ``train``
-    Train a Desh model on a raw log file; persists the phase-2 regressor,
-    the phrase vocabulary and the scaler parameters to a model directory.
+    Train a Desh model on a raw log file through the staged pipeline
+    (stage artifacts cached under ``<model-dir>/cache`` by default) and
+    persist the complete model to a model directory.  Re-training with
+    a partially changed config re-runs only the invalidated stages.
 ``predict``
     Load a trained model directory and emit failure warnings for a test
     log.
+``pipeline``
+    Show a trained model directory's stage DAG: per-stage fingerprints,
+    dependencies, cache status and last-run timings.
 ``evaluate``
     End-to-end: generate (or read) a system, train on the 30% split and
-    print the Table-6 metrics plus lead times for the rest.
+    print the Table-6 metrics plus lead times for the rest.  With
+    ``--cache-dir``, training stages and the encoded test stream are
+    cached so repeat invocations skip the parse work.
 ``chaos``
     Train once, then score the test split clean *and* after seeded fault
     injection + hardened re-ingest; prints the recall/FP-rate deltas and
-    the full fault/quarantine accounting.
+    the full fault/quarantine accounting.  Also honors ``--cache-dir``.
 
 Examples
 --------
@@ -38,7 +45,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .analysis import Evaluator, lead_time_overall
+from .analysis import lead_time_overall
 from .config import DeshConfig
 from .core import Desh, DeshModel, Phase3Predictor
 from .core.deltas import LeadTimeScaler
@@ -70,15 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--fraction", type=float, default=1.0, help="leading time fraction to use")
     t.add_argument("--model-dir", required=True, help="output directory")
     t.add_argument("--seed", type=int, default=2018)
+    t.add_argument(
+        "--cache-dir",
+        help="stage artifact cache root (default: <model-dir>/cache)",
+    )
+    t.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="train fully in memory, skipping the artifact store",
+    )
 
     p = sub.add_parser("predict", help="emit warnings for a test log")
     p.add_argument("--log", required=True, help="raw test log")
     p.add_argument("--model-dir", required=True, help="trained model directory")
 
+    pl = sub.add_parser(
+        "pipeline", help="show a model directory's stage DAG and cache status"
+    )
+    pl.add_argument("--model-dir", required=True, help="trained model directory")
+
     e = sub.add_parser("evaluate", help="full generate/train/test evaluation")
     e.add_argument("--system", default="M3")
     e.add_argument("--seed", type=int, default=2018)
     e.add_argument("--train-fraction", type=float, default=0.3)
+    e.add_argument(
+        "--cache-dir",
+        help="artifact cache root for training stages and the parsed test log",
+    )
 
     r = sub.add_parser("report", help="write a markdown evaluation report")
     r.add_argument("--system", default="M3")
@@ -112,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="ingest error budget (default: IngestConfig default)",
     )
+    c.add_argument(
+        "--cache-dir",
+        help="artifact cache root for training stages and the parsed test log",
+    )
     return parser
 
 
@@ -119,19 +148,19 @@ def build_parser() -> argparse.ArgumentParser:
 # model persistence
 # ----------------------------------------------------------------------
 def save_model(model: DeshModel, directory: str | Path) -> None:
-    """Persist the inference-relevant parts of a trained model."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    model.phase2.regressor.save(directory / "phase2.npz")
-    model.parser.vocab.save(directory / "vocab.json")
-    meta = {
-        "max_lead_seconds": model.phase2.scaler.max_lead_seconds,
-        "vocab_size": model.phase2.scaler.vocab_size,
-        "id_scale": model.phase2.scaler.id_scale,
-        "num_chains": model.num_chains,
-        "config_seed": model.config.seed,
-    }
-    (directory / "meta.json").write_text(json.dumps(meta, indent=1))
+    """Persist a trained model *completely* (pipeline format 2).
+
+    Historically this kept only the phase-2 regressor, vocabulary and
+    scaler — a reloaded "model" could score episodes but had lost its
+    embeddings, failure chains and classifier.  It now delegates to
+    :func:`repro.pipeline.save_model`, whose directory layout is a
+    strict superset of the legacy files, so :func:`load_predictor`
+    keeps working on newly written directories while
+    :meth:`DeshModel.load` restores everything.
+    """
+    from .pipeline.persist import save_model as _save_full_model
+
+    _save_full_model(model, directory)
 
 
 def load_predictor(
@@ -176,27 +205,71 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_pipeline_manifest(
+    model_dir: Path, result, data_fingerprint: str, cache_dir: "Path | None"
+) -> None:
+    """Record the training run's stage provenance next to the model."""
+    manifest = {
+        "data_fingerprint": data_fingerprint,
+        "cache_dir": str(cache_dir) if cache_dir is not None else None,
+        "train_classifier": False,
+        "stages": [
+            {
+                "name": r.name,
+                "fingerprint": r.fingerprint,
+                "cache_hit": r.cache_hit,
+                "seconds": r.seconds,
+                "deps": list(r.deps),
+            }
+            for r in result.reports
+        ],
+    }
+    (model_dir / "pipeline.json").write_text(json.dumps(manifest, indent=1))
+
+
 def cmd_train(args: argparse.Namespace) -> int:
-    """``repro train``: fit Desh on a raw log and persist the model."""
+    """``repro train``: fit Desh through the staged pipeline and persist."""
+    from .pipeline import DeshPipeline, assemble_model
+
     records = list(read_records(args.log))
     if not 0.0 < args.fraction <= 1.0:
         raise ReproError(f"--fraction must be in (0, 1], got {args.fraction}")
     if args.fraction < 1.0:
         records, _ = chronological_split(records, args.fraction)
     config = DeshConfig(seed=args.seed)
-    model = Desh(config).fit(records, train_classifier=False)
-    save_model(model, args.model_dir)
+    model_dir = Path(args.model_dir)
+    cache_dir: Path | None = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else model_dir / "cache"
+    pipeline = DeshPipeline(config, train_classifier=False, cache_dir=cache_dir)
+    data_fingerprint = pipeline.data_fingerprint(records)
+    result = pipeline.run(records, data_fingerprint=data_fingerprint)
+    model = assemble_model(config, result)
+    save_model(model, model_dir)
+    _write_pipeline_manifest(model_dir, result, data_fingerprint, cache_dir)
+    for r in result.reports:
+        status = "cached" if r.cache_hit else "ran"
+        print(f"  {r.name:<11} {status:>6} {r.seconds:8.2f}s  {r.fingerprint[:12]}")
     print(
         f"trained on {len(records)} records: {model.num_phrases} phrases, "
         f"{model.num_chains} failure chains -> {args.model_dir}"
+        + (f" (cache: {cache_dir})" if cache_dir is not None else "")
     )
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
     """``repro predict``: emit failure warnings for a test log."""
+    from .errors import SerializationError
+    from .pipeline.persist import load_model
+
     config = DeshConfig()
-    parser, predictor = load_predictor(args.model_dir, config)
+    try:
+        model = load_model(args.model_dir)
+        parser, predictor = model.parser, model.predictor
+    except SerializationError:
+        # Legacy (format-1) model directory: regressor + vocab only.
+        parser, predictor = load_predictor(args.model_dir, config)
     records = list(read_records(args.log))
     parsed = parser.transform(records)
     sequences = [s for s in parsed.by_node().values() if s.node is not None]
@@ -212,14 +285,80 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """``repro pipeline``: print a model directory's stage DAG + cache state."""
+    from .config import DeshConfig as _DeshConfig
+    from .pipeline import ArtifactStore, PipelineRunner, build_desh_stages
+
+    model_dir = Path(args.model_dir)
+    manifest_path = model_dir / "pipeline.json"
+    if not manifest_path.exists():
+        raise ReproError(
+            f"{model_dir} has no pipeline.json; re-train it with `repro train`"
+        )
+    manifest = json.loads(manifest_path.read_text())
+    config_path = model_dir / "config.json"
+    if config_path.exists():
+        config = _DeshConfig.from_dict(json.loads(config_path.read_text()))
+    else:
+        config = _DeshConfig()
+    cache_dir = manifest.get("cache_dir")
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    runner = PipelineRunner(
+        build_desh_stages(
+            config, train_classifier=manifest.get("train_classifier", True)
+        ),
+        store=store,
+    )
+    last_run = {s["name"]: s for s in manifest.get("stages", [])}
+    plans = runner.plan(manifest["data_fingerprint"])
+    print(f"stage DAG for {model_dir} (data {manifest['data_fingerprint'][:12]}):")
+    for row in plans:
+        deps = ", ".join(row.deps) if row.deps else "(source)"
+        status = "cached" if row.cached else "stale" if store else "no-cache"
+        seconds = last_run.get(row.name, {}).get("seconds")
+        timing = f"{seconds:8.2f}s" if seconds is not None else "       -"
+        print(
+            f"  {row.name:<11} {row.fingerprint[:16]}  {status:<8} "
+            f"{timing}  <- {deps}"
+        )
+    cached = sum(1 for row in plans if row.cached)
+    print(
+        f"{cached}/{len(plans)} stages cached"
+        + (f" under {cache_dir}" if cache_dir else " (no artifact store)")
+    )
+    return 0
+
+
+def _artifact_store(cache_dir: "str | None"):
+    """An :class:`ArtifactStore` over *cache_dir*, or ``None``."""
+    if cache_dir is None:
+        return None
+    from .pipeline import ArtifactStore
+
+    return ArtifactStore(cache_dir)
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    """``repro evaluate``: end-to-end train/test with Table-6 metrics."""
+    """``repro evaluate``: end-to-end train/test with Table-6 metrics.
+
+    ``--cache-dir`` routes both training and the test-side parse through
+    the artifact store: a repeat invocation with the same system/seed
+    re-runs nothing but the final phase-3 scoring.
+    """
+    from .analysis import evaluate_model
+
     log = generate_system(args.system, seed=args.seed)
     train, test = log.split(args.train_fraction)
     model = Desh(DeshConfig(seed=args.seed)).fit(
-        list(train.records), train_classifier=False
+        list(train.records), train_classifier=False, cache_dir=args.cache_dir
     )
-    result = Evaluator(test.ground_truth).evaluate(model.score(test.records))
+    result = evaluate_model(
+        model,
+        list(test.records),
+        test.ground_truth,
+        store=_artifact_store(args.cache_dir),
+    )
     m = result.metrics
     lead = lead_time_overall(result)
     print(f"system {args.system} (seed {args.seed}):")
@@ -274,7 +413,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     log = generate_system(args.system, seed=args.seed)
     train, test = log.split(args.train_fraction)
     model = Desh(DeshConfig(seed=args.seed)).fit(
-        list(train.records), train_classifier=False
+        list(train.records), train_classifier=False, cache_dir=args.cache_dir
     )
     report = chaos_evaluation(
         model,
@@ -283,6 +422,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         profile,
         seed=args.chaos_seed,
         ingest_config=ingest_config,
+        store=_artifact_store(args.cache_dir),
     )
     print(
         f"system {args.system} (seed {args.seed}), "
@@ -296,6 +436,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "predict": cmd_predict,
+    "pipeline": cmd_pipeline,
     "evaluate": cmd_evaluate,
     "report": cmd_report,
     "chaos": cmd_chaos,

@@ -213,3 +213,29 @@ class DeshConfig:
     def replace(self, **kwargs: object) -> "DeshConfig":
         """Return a copy with the given top-level fields replaced."""
         return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # serialization (pipeline fingerprints + full-model persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (inverse of :meth:`from_dict`).
+
+        The nested phase configs serialize to plain dicts, so the result
+        is stable input for both config files and cache fingerprints.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeshConfig":
+        """Rebuild a :class:`DeshConfig` from a :meth:`to_dict` payload."""
+        try:
+            return cls(
+                embedding=EmbeddingConfig(**data["embedding"]),
+                phase1=Phase1Config(**data["phase1"]),
+                phase2=Phase2Config(**data["phase2"]),
+                phase3=Phase3Config(**data["phase3"]),
+                train_fraction=data["train_fraction"],
+                seed=data["seed"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise ConfigError(f"malformed DeshConfig payload: {exc}") from exc

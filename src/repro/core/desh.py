@@ -28,7 +28,7 @@ from ..simlog.record import LogRecord
 from .alerts import FailureWarning
 from .chains import ChainExtractor
 from .classify import FailureClassifier
-from .phase1 import Phase1Result, Phase1Trainer
+from .phase1 import Phase1Result
 from .phase2 import Phase2Result, Phase2Trainer  # noqa: F401 (update() uses both)
 from .phase3 import EpisodeVerdict, FailurePrediction, Phase3Predictor
 
@@ -64,6 +64,17 @@ class DeshModel:
         sequences = [
             seq for seq in parsed.by_node().values() if seq.node is not None
         ]
+        return self.score_sequences(sequences, workers=workers)
+
+    def score_sequences(
+        self, sequences: Sequence, *, workers: int = 1
+    ) -> list[EpisodeVerdict]:
+        """Score already-encoded per-node sequences (cache-friendly path).
+
+        Callers that hold a pre-parsed event stream — e.g. an evaluation
+        sweep reusing a cached ``ParseResult`` — can skip re-parsing and
+        feed its ``by_node()`` sequences here directly.
+        """
         if workers <= 1 or len(sequences) <= 1:
             return self.predictor.predict_sequences(sequences)
         from ..parallel import ordered_parallel_map, shard_sequences
@@ -151,6 +162,26 @@ class DeshModel:
         return len(new_chains)
 
     # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist the complete model (every trained component).
+
+        Unlike the legacy ``cli.save_model`` — which kept only the
+        phase-2 regressor and vocabulary — a directory written here
+        restores via :meth:`load` to a model whose ``warn()`` output is
+        identical, classifier and online ``update()`` included.
+        """
+        from ..pipeline.persist import save_model
+
+        save_model(self, directory)
+
+    @classmethod
+    def load(cls, directory) -> "DeshModel":
+        """Restore a complete model saved by :meth:`save`."""
+        from ..pipeline.persist import load_model
+
+        return load_model(directory)
+
+    # ------------------------------------------------------------------
     @property
     def num_phrases(self) -> int:
         """Size of the mined phrase vocabulary."""
@@ -174,8 +205,16 @@ class Desh:
         *,
         train_classifier: bool = True,
         checkpoint_dir: "str | None" = None,
+        cache_dir: "str | None" = None,
     ) -> DeshModel:
         """Train the full pipeline on raw training records.
+
+        Training runs through the staged pipeline
+        (:class:`repro.pipeline.DeshPipeline`): parse → embeddings /
+        chains → phase-1 LSTM / phase-2 regressor → classifier /
+        phase-3 spec.  Each stage reuses exactly the trainer code (and
+        seeds) of the original monolithic implementation, so the
+        returned model is bit-identical to the pre-pipeline ``fit``.
 
         ``train_classifier=False`` skips the phase-1 LSTM (embeddings and
         chains are still built); useful when only lead-time prediction is
@@ -187,65 +226,21 @@ class Desh:
         from the newest intact checkpoint to bit-identical weights (the
         parser, embeddings and chain extraction are deterministic given
         the config seed, so they are simply recomputed).
+
+        ``cache_dir`` enables the content-addressed artifact store:
+        stage outputs are persisted under fingerprints derived from the
+        config, the upstream stages and the training data, and a
+        re-``fit`` with a partially changed config re-runs only the
+        invalidated stages (e.g. a Phase-2 edit skips parsing, the
+        embeddings and the phase-1 LSTM entirely).
         """
         if not records:
             raise TrainingError("Desh.fit received no records")
-        cfg = self.config
-        ckpt1 = ckpt2 = None
-        if checkpoint_dir is not None:
-            from pathlib import Path
+        from ..pipeline.facade import DeshPipeline
 
-            from ..resilience.checkpoint import CheckpointManager
-
-            root = Path(checkpoint_dir)
-            ckpt1 = CheckpointManager(root / "phase1")
-            ckpt2 = CheckpointManager(root / "phase2")
-        parser = LogParser()
-        parsed = parser.fit_transform(records)
-
-        extractor = ChainExtractor(lookback=cfg.phase2.max_lead_seconds)
-        phase1 = Phase1Trainer(
-            parser,
-            config=cfg.phase1,
-            embedding_config=cfg.embedding,
-            chain_extractor=extractor,
-            seed=cfg.seed,
-        ).train(parsed, train_classifier=train_classifier, checkpoint=ckpt1)
-        if not phase1.chains:
-            raise TrainingError(
-                "phase 1 extracted no failure chains from the training data; "
-                "the training window may contain no failures"
-            )
-
-        phase2 = Phase2Trainer(
-            vocab_size=max(2, parser.num_phrases),
-            config=cfg.phase2,
-            seed=cfg.seed,
-        ).train(phase1.chains, checkpoint=ckpt2)
-
-        predictor = Phase3Predictor(
-            phase2.regressor,
-            phase2.scaler,
-            config=cfg.phase3,
-            episode_gap=cfg.phase2.max_lead_seconds,
-        )
-        # Failure-class attribution, bootstrapped from the chains' own
-        # phrases (Table 7's class definitions are keyword-identifiable).
-        classifier: FailureClassifier | None = None
-        try:
-            vocab_texts = [
-                parser.vocab.text_of(i) for i in range(parser.num_phrases)
-            ]
-            classifier = FailureClassifier(
-                max(2, parser.num_phrases)
-            ).fit_with_keywords(phase1.chains, vocab_texts)
-        except TrainingError:
-            classifier = None  # no chain matched any keyword rule
-        return DeshModel(
-            config=cfg,
-            parser=parser,
-            phase1=phase1,
-            phase2=phase2,
-            predictor=predictor,
-            classifier=classifier,
-        )
+        return DeshPipeline(
+            self.config,
+            train_classifier=train_classifier,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+        ).fit(records)

@@ -93,54 +93,16 @@ class Phase1Trainer:
         LSTM (embeddings, windows) is deterministic given the seed and
         is simply recomputed on resume.
         """
-        if len(parsed) == 0:
-            raise TrainingError("phase 1 received no parsed events")
-        sequences = [
-            seq for seq in parsed.by_node().values() if seq.node is not None
-        ]
-        if not sequences:
-            raise TrainingError("phase 1 needs node-attributed events")
-
-        id_sequences = [seq.phrase_ids() for seq in sequences]
-        vocab_size = max(2, self.parser.num_phrases)
-
-        rng = np.random.default_rng(self.seed)
-        embedder = SkipGramEmbedder(vocab_size, self.embedding_config)
-        embedder.fit(id_sequences, rng, counts=self._padded_counts(vocab_size))
+        sequences = self.node_sequences(parsed)
+        embedder = self.train_embedder(sequences)
 
         classifier: Optional[SequenceClassifier] = None
         losses: list[float] = []
         accuracy = 0.0
         if train_classifier:
-            cfg = self.config
-            x, y = windows_from_sequences(
-                id_sequences, cfg.history_size, cfg.prediction_steps
+            classifier, accuracy, losses = self.train_sequence_model(
+                sequences, embedder, checkpoint=checkpoint
             )
-            if len(x) == 0:
-                raise TrainingError(
-                    "no training windows; sequences shorter than "
-                    f"history ({cfg.history_size}) + steps ({cfg.prediction_steps})"
-                )
-            classifier = SequenceClassifier(
-                vocab_size,
-                embed_dim=self.embedding_config.dim,
-                hidden_size=cfg.hidden_size,
-                num_layers=cfg.hidden_layers,
-                steps=cfg.prediction_steps,
-                seed=self.seed,
-                pretrained_embeddings=embedder.vectors,
-            )
-            losses = classifier.fit(
-                x,
-                y,
-                epochs=cfg.epochs,
-                batch_size=cfg.batch_size,
-                optimizer=SGD(cfg.learning_rate, momentum=cfg.momentum),
-                grad_clip=cfg.grad_clip,
-                rng=np.random.default_rng(self.seed + 1),
-                checkpoint=checkpoint,
-            )
-            accuracy = classifier.accuracy(x, y)
 
         chains = self.chain_extractor.extract(sequences)
         return Phase1Result(
@@ -151,6 +113,76 @@ class Phase1Trainer:
             train_accuracy=accuracy,
             losses=losses,
         )
+
+    # ------------------------------------------------------------------
+    def node_sequences(self, parsed: ParseResult) -> list[EventSequence]:
+        """Node-attributed event sequences of *parsed*, validated."""
+        if len(parsed) == 0:
+            raise TrainingError("phase 1 received no parsed events")
+        sequences = [
+            seq for seq in parsed.by_node().values() if seq.node is not None
+        ]
+        if not sequences:
+            raise TrainingError("phase 1 needs node-attributed events")
+        return sequences
+
+    def train_embedder(
+        self, sequences: Sequence[EventSequence]
+    ) -> SkipGramEmbedder:
+        """Fit the skip-gram embeddings over the per-node id sequences."""
+        id_sequences = [seq.phrase_ids() for seq in sequences]
+        vocab_size = max(2, self.parser.num_phrases)
+        rng = np.random.default_rng(self.seed)
+        embedder = SkipGramEmbedder(vocab_size, self.embedding_config)
+        embedder.fit(id_sequences, rng, counts=self._padded_counts(vocab_size))
+        return embedder
+
+    def train_sequence_model(
+        self,
+        sequences: Sequence[EventSequence],
+        embedder: SkipGramEmbedder,
+        *,
+        checkpoint=None,
+    ) -> tuple[SequenceClassifier, float, list[float]]:
+        """Fit the phrase-sequence LSTM on windows over *sequences*.
+
+        Returns ``(classifier, train_accuracy, losses)``.  Split out of
+        :meth:`train` so the staged pipeline can run (and cache) the
+        embedding and LSTM fits as separate stages while sharing the
+        exact code path — results are bit-identical either way.
+        """
+        id_sequences = [seq.phrase_ids() for seq in sequences]
+        vocab_size = max(2, self.parser.num_phrases)
+        cfg = self.config
+        x, y = windows_from_sequences(
+            id_sequences, cfg.history_size, cfg.prediction_steps
+        )
+        if len(x) == 0:
+            raise TrainingError(
+                "no training windows; sequences shorter than "
+                f"history ({cfg.history_size}) + steps ({cfg.prediction_steps})"
+            )
+        classifier = SequenceClassifier(
+            vocab_size,
+            embed_dim=self.embedding_config.dim,
+            hidden_size=cfg.hidden_size,
+            num_layers=cfg.hidden_layers,
+            steps=cfg.prediction_steps,
+            seed=self.seed,
+            pretrained_embeddings=embedder.vectors,
+        )
+        losses = classifier.fit(
+            x,
+            y,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            optimizer=SGD(cfg.learning_rate, momentum=cfg.momentum),
+            grad_clip=cfg.grad_clip,
+            rng=np.random.default_rng(self.seed + 1),
+            checkpoint=checkpoint,
+        )
+        accuracy = classifier.accuracy(x, y)
+        return classifier, accuracy, losses
 
     # ------------------------------------------------------------------
     def _padded_counts(self, vocab_size: int) -> np.ndarray:

@@ -27,6 +27,8 @@ __all__ = [
     "IngestError",
     "CheckpointError",
     "ParallelError",
+    "PipelineError",
+    "ArtifactError",
 ]
 
 
@@ -104,3 +106,11 @@ class CheckpointError(ReproError, RuntimeError):
 
 class ParallelError(ReproError, RuntimeError):
     """A parallel map chunk failed; carries the chunk index for diagnosis."""
+
+
+class PipelineError(ReproError, RuntimeError):
+    """The staged pipeline DAG is malformed or a stage failed to execute."""
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """A pipeline artifact could not be written, read, or verified."""

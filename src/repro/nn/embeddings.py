@@ -174,6 +174,35 @@ class SkipGramEmbedder:
         np.add.at(w_out, n_ids.reshape(-1), -lr * d_un.reshape(-1, v_c.shape[1]))
 
     # ------------------------------------------------------------------
+    # state round-tripping (pipeline artifacts, full-model persistence)
+    # ------------------------------------------------------------------
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The trained parameter arrays (inverse of :meth:`from_state`)."""
+        if self._in is None or self._out is None:
+            raise NotFittedError("SkipGramEmbedder.fit has not run")
+        return {"w_in": self._in, "w_out": self._out}
+
+    @classmethod
+    def from_state(
+        cls,
+        w_in: np.ndarray,
+        w_out: np.ndarray,
+        config: EmbeddingConfig | None = None,
+    ) -> "SkipGramEmbedder":
+        """Rebuild a fitted embedder from its parameter arrays."""
+        w_in = np.asarray(w_in, dtype=np.float64)
+        w_out = np.asarray(w_out, dtype=np.float64)
+        if w_in.ndim != 2 or w_in.shape != w_out.shape:
+            raise ShapeError(
+                f"w_in/w_out must be matching 2-D arrays, got "
+                f"{w_in.shape} and {w_out.shape}"
+            )
+        embedder = cls(w_in.shape[0], config)
+        embedder._in = w_in
+        embedder._out = w_out
+        return embedder
+
+    # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,249 @@
+"""Typed codecs between pipeline artifacts and on-disk files.
+
+Each stage output has one save/load pair here; the artifact store and
+the full-model persistence layer (:mod:`repro.pipeline.persist`) share
+these codecs so a cached stage artifact and a saved model restore
+through identical code.  Events travel as columnar NumPy arrays (node
+coordinates as five int32 columns with ``-1`` marking node-less events,
+labels as indices into ``Label.ALL``); everything neural reuses the
+models' own ``save``/``load`` npz round-tripping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..config import DeshConfig
+from ..core.chains import FailureChain
+from ..core.classify import FailureClassifier
+from ..core.deltas import LeadTimeScaler
+from ..core.phase2 import Phase2Result
+from ..errors import ArtifactError
+from ..events import Label, ParsedEvent
+from ..nn.embeddings import SkipGramEmbedder
+from ..nn.model import SequenceRegressor
+from ..simlog.faults import FailureClass
+from ..topology.cray import CrayNodeId
+
+__all__ = [
+    "events_to_arrays",
+    "events_from_arrays",
+    "save_events",
+    "load_events",
+    "save_chains",
+    "load_chains",
+    "save_embedder",
+    "load_embedder",
+    "save_phase2",
+    "load_phase2",
+    "save_failure_classifier",
+    "load_failure_classifier",
+    "write_json",
+    "read_json",
+]
+
+_NODE_FIELDS = ("col", "row", "chassis", "slot", "node")
+
+
+def write_json(path: Path, payload: dict) -> None:
+    """Write a JSON payload (plain write; callers sit behind the store's
+    last-write-wins manifest protocol or the model-dir save)."""
+    path.write_text(json.dumps(payload, indent=1))
+
+
+def read_json(path: Path) -> dict:
+    """Read a JSON payload, normalizing failures to :class:`ArtifactError`."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"unreadable JSON payload {path}") from exc
+
+
+# ----------------------------------------------------------------------
+# parsed events
+# ----------------------------------------------------------------------
+def events_to_arrays(events: Sequence[ParsedEvent]) -> dict[str, np.ndarray]:
+    """Columnar encoding of a parsed-event stream."""
+    n = len(events)
+    out = {
+        "timestamp": np.fromiter(
+            (e.timestamp for e in events), dtype=np.float64, count=n
+        ),
+        "phrase_id": np.fromiter(
+            (e.phrase_id for e in events), dtype=np.int64, count=n
+        ),
+        "label": np.fromiter(
+            (Label.ALL.index(e.label) for e in events), dtype=np.int8, count=n
+        ),
+        "terminal": np.fromiter(
+            (e.terminal for e in events), dtype=np.bool_, count=n
+        ),
+    }
+    node_cols = np.full((n, len(_NODE_FIELDS)), -1, dtype=np.int32)
+    for i, e in enumerate(events):
+        if e.node is not None:
+            node_cols[i] = [getattr(e.node, f) for f in _NODE_FIELDS]
+    out["node"] = node_cols
+    return out
+
+
+def events_from_arrays(data) -> list[ParsedEvent]:
+    """Inverse of :func:`events_to_arrays`."""
+    node_cols = np.asarray(data["node"])
+    events: list[ParsedEvent] = []
+    node_cache: dict[tuple, Optional[CrayNodeId]] = {}
+    for ts, pid, label_idx, terminal, node_row in zip(
+        data["timestamp"], data["phrase_id"], data["label"],
+        data["terminal"], node_cols,
+    ):
+        key = tuple(int(v) for v in node_row)
+        node = node_cache.get(key, _MISSING)
+        if node is _MISSING:
+            node = None if key[0] < 0 else CrayNodeId(*key)
+            node_cache[key] = node
+        events.append(
+            ParsedEvent(
+                timestamp=float(ts),
+                phrase_id=int(pid),
+                node=node,
+                label=Label.ALL[int(label_idx)],
+                terminal=bool(terminal),
+            )
+        )
+    return events
+
+
+_MISSING = object()
+
+
+def save_events(path: Path, events: Sequence[ParsedEvent]) -> None:
+    """Persist a parsed-event stream as one ``.npz`` file."""
+    np.savez(path, **events_to_arrays(events))
+
+
+def load_events(path: Path) -> list[ParsedEvent]:
+    """Load a parsed-event stream saved by :func:`save_events`."""
+    with np.load(path, allow_pickle=False) as data:
+        return events_from_arrays(data)
+
+
+# ----------------------------------------------------------------------
+# failure chains
+# ----------------------------------------------------------------------
+def save_chains(path: Path, chains: Sequence[FailureChain]) -> None:
+    """Persist failure chains as flattened event columns + chain lengths."""
+    flat: list[ParsedEvent] = []
+    lengths = np.empty(len(chains), dtype=np.int64)
+    for i, chain in enumerate(chains):
+        lengths[i] = len(chain.events)
+        flat.extend(chain.events)
+    arrays = events_to_arrays(flat)
+    arrays["chain_lengths"] = lengths
+    np.savez(path, **arrays)
+
+
+def load_chains(path: Path) -> list[FailureChain]:
+    """Inverse of :func:`save_chains`."""
+    with np.load(path, allow_pickle=False) as data:
+        lengths = data["chain_lengths"]
+        events = events_from_arrays(data)
+    chains: list[FailureChain] = []
+    offset = 0
+    for n in lengths:
+        members = tuple(events[offset : offset + int(n)])
+        offset += int(n)
+        chains.append(FailureChain(members[0].node, members))
+    if offset != len(events):
+        raise ArtifactError(
+            f"chain payload mismatch in {path}: "
+            f"{len(events)} events vs {offset} accounted"
+        )
+    return chains
+
+
+# ----------------------------------------------------------------------
+# skip-gram embedder
+# ----------------------------------------------------------------------
+def save_embedder(path: Path, embedder: SkipGramEmbedder) -> None:
+    """Persist the trained embedding matrices."""
+    np.savez(path, **embedder.state_arrays())
+
+
+def load_embedder(path: Path, config: DeshConfig) -> SkipGramEmbedder:
+    """Rebuild a fitted embedder (hyperparameters come from *config*)."""
+    with np.load(path, allow_pickle=False) as data:
+        return SkipGramEmbedder.from_state(
+            data["w_in"], data["w_out"], config.embedding
+        )
+
+
+# ----------------------------------------------------------------------
+# phase-2 result (regressor + scaler + counters)
+# ----------------------------------------------------------------------
+def save_phase2(directory: Path, result: Phase2Result) -> None:
+    """Persist a full :class:`Phase2Result` into *directory*."""
+    result.regressor.save(directory / "regressor.npz")
+    write_json(
+        directory / "phase2.json",
+        {
+            "max_lead_seconds": result.scaler.max_lead_seconds,
+            "vocab_size": result.scaler.vocab_size,
+            "id_scale": result.scaler.id_scale,
+            "num_chains": result.num_chains,
+            "num_windows": result.num_windows,
+            "losses": [float(v) for v in result.losses],
+        },
+    )
+
+
+def load_phase2(directory: Path) -> Phase2Result:
+    """Inverse of :func:`save_phase2`."""
+    meta = read_json(directory / "phase2.json")
+    return Phase2Result(
+        regressor=SequenceRegressor.load(directory / "regressor.npz"),
+        scaler=LeadTimeScaler(
+            max_lead_seconds=float(meta["max_lead_seconds"]),
+            vocab_size=int(meta["vocab_size"]),
+            id_scale=float(meta["id_scale"]),
+        ),
+        num_chains=int(meta["num_chains"]),
+        num_windows=int(meta["num_windows"]),
+        losses=[float(v) for v in meta["losses"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# failure-class attribution profiles
+# ----------------------------------------------------------------------
+def save_failure_classifier(
+    path: Path, classifier: Optional[FailureClassifier]
+) -> None:
+    """Persist the per-class phrase profiles (absent classifier = marker)."""
+    if classifier is None or classifier._profiles is None:
+        np.savez(path, __absent__=np.array([1]))
+        return
+    arrays = {
+        f"profile::{cls.value}": vec
+        for cls, vec in classifier._profiles.items()
+    }
+    arrays["vocab_size"] = np.array([classifier.vocab_size], dtype=np.int64)
+    np.savez(path, **arrays)
+
+
+def load_failure_classifier(path: Path) -> Optional[FailureClassifier]:
+    """Inverse of :func:`save_failure_classifier`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "__absent__" in data.files:
+            return None
+        classifier = FailureClassifier(int(data["vocab_size"][0]))
+        prefix = "profile::"
+        classifier._profiles = {
+            FailureClass(name[len(prefix):]): data[name]
+            for name in data.files
+            if name.startswith(prefix)
+        }
+    return classifier

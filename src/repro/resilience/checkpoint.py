@@ -37,6 +37,7 @@ from ..errors import CheckpointError, ConfigError
 
 __all__ = [
     "CheckpointManager",
+    "atomic_write_bytes",
     "pack_fit_state",
     "restore_fit_state",
 ]
@@ -46,8 +47,13 @@ _PARAM_PREFIX = "param::"
 _OPT_PREFIX = "opt::"
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write *payload* to *path* via tmp + fsync + rename (crash-safe)."""
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write *payload* to *path* via tmp + fsync + rename (crash-safe).
+
+    Shared durability primitive: checkpoints and the pipeline artifact
+    store both write through it so a crash at any instant leaves either
+    the old file or the new one, never a torn write.
+    """
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
         fh.write(payload)
@@ -60,6 +66,10 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
         os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
+
+
+#: Backwards-compatible alias (pre-pipeline internal name).
+_atomic_write_bytes = atomic_write_bytes
 
 
 class CheckpointManager:

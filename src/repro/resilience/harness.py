@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..analysis.evaluation import EvaluationResult, Evaluator
+from ..analysis.evaluation import EvaluationResult
 from ..analysis.metrics import PredictionMetrics
 from ..simlog.generator import GroundTruth
 from ..simlog.record import LogRecord
@@ -103,6 +103,7 @@ def chaos_evaluation(
     seed: int = 0,
     ingest_config: IngestConfig | None = None,
     workers: int = 1,
+    store=None,
 ) -> ChaosReport:
     """Evaluate *model* on clean and fault-injected versions of *records*.
 
@@ -112,15 +113,23 @@ def chaos_evaluation(
     :class:`~repro.resilience.ingest.HardenedIngestor` — exactly the
     path a production feed would take.  Both runs are scored against the
     same ground truth.
+
+    With *store* (a :class:`~repro.pipeline.ArtifactStore`), both the
+    clean and the post-ingest encoded streams are cached keyed by
+    (vocabulary, records): sweeping fault profiles against the same
+    model and test split re-parses nothing.
     """
-    evaluator = Evaluator(ground_truth)
-    clean_result = evaluator.evaluate(model.score(records, workers=workers))
+    from ..analysis.evaluation import evaluate_model
+
+    clean_result = evaluate_model(
+        model, records, ground_truth, store=store, workers=workers
+    )
 
     injector = ChaosInjector(profile, seed=seed)
     ingestor = HardenedIngestor(ingest_config)
     chaotic_records = list(ingestor.ingest_lines(injector.inject_records(records)))
-    chaotic_result = evaluator.evaluate(
-        model.score(chaotic_records, workers=workers)
+    chaotic_result = evaluate_model(
+        model, chaotic_records, ground_truth, store=store, workers=workers
     )
     return ChaosReport(
         profile=profile,

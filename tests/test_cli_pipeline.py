@@ -1,0 +1,149 @@
+"""CLI-level tests for pipeline caching: train twice, inspect the DAG."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import (
+    DeshConfig,
+    EmbeddingConfig,
+    Phase1Config,
+    Phase2Config,
+)
+from repro.io import write_log
+
+
+@pytest.fixture()
+def small_cli_config(monkeypatch):
+    """Shrink the CLI's default config so training is fast."""
+    cfg = DeshConfig(
+        embedding=EmbeddingConfig(dim=12, epochs=1),
+        phase1=Phase1Config(hidden_size=16, epochs=1, batch_size=128),
+        phase2=Phase2Config(hidden_size=32, epochs=40, learning_rate=0.01),
+        seed=7,
+    )
+    import repro.cli as cli_mod
+
+    monkeypatch.setattr(cli_mod, "DeshConfig", lambda **kw: cfg)
+    return cfg
+
+
+class TestTrainCacheFlow:
+    def test_retrain_hits_cache_and_pipeline_reports_it(
+        self, small_log, tmp_path, capsys, small_cli_config
+    ):
+        log_path = tmp_path / "train.log.gz"
+        train, _ = small_log.split(0.3)
+        write_log(log_path, train.records)
+        model_dir = tmp_path / "model"
+        argv = ["train", "--log", str(log_path), "--model-dir", str(model_dir)]
+
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert "ran" in cold_out and "cached" not in cold_out
+        manifest = json.loads((model_dir / "pipeline.json").read_text())
+        assert {s["name"] for s in manifest["stages"]} == {
+            "parse",
+            "embeddings",
+            "phase1",
+            "chains",
+            "phase2",
+            "classifier",
+            "phase3",
+        }
+        assert all(not s["cache_hit"] for s in manifest["stages"])
+        assert (model_dir / "cache").is_dir()
+
+        # Second identical train: every stage is served from the store.
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        for stage in ("parse", "embeddings", "phase2"):
+            assert stage in warm_out
+        assert "ran" not in [
+            token
+            for line in warm_out.splitlines()
+            for token in line.split()
+        ]
+        manifest = json.loads((model_dir / "pipeline.json").read_text())
+        assert all(s["cache_hit"] for s in manifest["stages"])
+
+        # `repro pipeline` renders the DAG with everything cached.
+        assert main(["pipeline", "--model-dir", str(model_dir)]) == 0
+        dag_out = capsys.readouterr().out
+        assert "stage DAG" in dag_out
+        assert "7/7 stages cached" in dag_out
+        assert "<- parse" in dag_out
+        for stage in ("parse", "chains", "phase2", "phase3"):
+            assert stage in dag_out
+
+    def test_phase2_edit_retrain_skips_upstream_stages(
+        self, small_log, tmp_path, capsys, monkeypatch
+    ):
+        """`repro train` after a Phase-2-only edit reuses parse/phase1/chains."""
+        import dataclasses
+
+        import repro.cli as cli_mod
+
+        base = DeshConfig(
+            embedding=EmbeddingConfig(dim=12, epochs=1),
+            phase1=Phase1Config(hidden_size=16, epochs=1, batch_size=128),
+            phase2=Phase2Config(hidden_size=32, epochs=40, learning_rate=0.01),
+            seed=7,
+        )
+        log_path = tmp_path / "train.log.gz"
+        train, _ = small_log.split(0.3)
+        write_log(log_path, train.records)
+        model_dir = tmp_path / "model"
+        argv = ["train", "--log", str(log_path), "--model-dir", str(model_dir)]
+
+        monkeypatch.setattr(cli_mod, "DeshConfig", lambda **kw: base)
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        edited = dataclasses.replace(
+            base, phase2=dataclasses.replace(base.phase2, learning_rate=0.02)
+        )
+        monkeypatch.setattr(cli_mod, "DeshConfig", lambda **kw: edited)
+        assert main(argv) == 0
+        capsys.readouterr()
+        manifest = json.loads((model_dir / "pipeline.json").read_text())
+        status = {s["name"]: s["cache_hit"] for s in manifest["stages"]}
+        assert status["parse"] and status["embeddings"]
+        assert status["phase1"] and status["chains"] and status["classifier"]
+        assert not status["phase2"] and not status["phase3"]
+
+    def test_no_cache_flag_skips_store(
+        self, small_log, tmp_path, capsys, small_cli_config
+    ):
+        log_path = tmp_path / "train.log.gz"
+        train, _ = small_log.split(0.3)
+        write_log(log_path, train.records[:6000])
+        model_dir = tmp_path / "model"
+        assert (
+            main(
+                [
+                    "train",
+                    "--log",
+                    str(log_path),
+                    "--model-dir",
+                    str(model_dir),
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert not (model_dir / "cache").exists()
+        manifest = json.loads((model_dir / "pipeline.json").read_text())
+        assert manifest["cache_dir"] is None
+        # The DAG view still works, reporting the absence of a store.
+        assert main(["pipeline", "--model-dir", str(model_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "no-cache" in out or "no artifact store" in out
+
+    def test_pipeline_requires_manifest(self, tmp_path, capsys):
+        assert main(["pipeline", "--model-dir", str(tmp_path)]) == 2
+        assert "pipeline.json" in capsys.readouterr().err
