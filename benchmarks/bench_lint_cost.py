@@ -1,0 +1,48 @@
+"""Lint cost benchmark: a full-repo deshlint pass must stay cheap.
+
+The self-lint gate runs in tier-1 CI on every push, so its wall time is
+part of the edit-test loop.  Budget: one full pass over ``src/repro``
+(~100 modules, all five rules, suppressions + baseline applied) in
+under 5 seconds.  The R2 reachability pass is the only super-linear
+piece — it builds a whole-project call graph — so the bench also prints
+its share to catch a complexity regression early.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import repro
+from repro.lint import get_rules, lint_paths
+
+BUDGET_SECONDS = 5.0
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+
+
+def _timed_lint(rules=None) -> "tuple[float, int]":
+    start = time.perf_counter()
+    report = lint_paths([PACKAGE_DIR], rules=rules)
+    return time.perf_counter() - start, report.modules
+
+
+def test_full_repo_lint_under_budget(capsys):
+    # Warm-up pass so interpreter/bytecode costs don't pollute the number.
+    _timed_lint()
+
+    full_seconds, modules = _timed_lint()
+    r2_seconds, _ = _timed_lint(rules=get_rules(["R2"]))
+    local_seconds, _ = _timed_lint(rules=get_rules(["R1", "R3", "R4", "R5"]))
+
+    with capsys.disabled():
+        print()
+        print(f"full lint (R1-R5)   {full_seconds:6.2f}s  ({modules} modules)")
+        print(f"  R2 reachability   {r2_seconds:6.2f}s")
+        print(f"  module-local      {local_seconds:6.2f}s")
+        print(f"budget              {BUDGET_SECONDS:6.2f}s")
+
+    assert modules > 90
+    assert full_seconds < BUDGET_SECONDS, (
+        f"full-repo lint took {full_seconds:.2f}s, budget is "
+        f"{BUDGET_SECONDS:.1f}s"
+    )

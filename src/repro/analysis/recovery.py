@@ -22,7 +22,12 @@ import numpy as np
 from ..errors import ConfigError
 from .evaluation import EvaluationResult
 
-__all__ = ["RecoveryAction", "PAPER_ACTIONS", "recovery_feasibility"]
+__all__ = [
+    "RecoveryAction",
+    "FeasibilityRow",
+    "PAPER_ACTIONS",
+    "recovery_feasibility",
+]
 
 
 @dataclass(frozen=True)

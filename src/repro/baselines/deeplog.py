@@ -29,11 +29,13 @@ from ..nn.data import windows_from_sequences
 from ..nn.model import SequenceClassifier
 from ..nn.optimizers import SGD
 
-__all__ = ["DeepLogDetector"]
+__all__ = ["DeepLogConfig", "DeepLogDetector"]
 
 
 @dataclass
 class DeepLogConfig:
+    """Hyperparameters of the DeepLog-style top-g anomaly detector."""
+
     history: int = 5
     top_g: int = 6
     min_anomalies: int = 1

@@ -22,11 +22,13 @@ from ..core.phase3 import EpisodeVerdict
 from ..errors import NotFittedError, TrainingError
 from ..events import EventSequence
 
-__all__ = ["NGramDetector"]
+__all__ = ["NGramConfig", "NGramDetector"]
 
 
 @dataclass
 class NGramConfig:
+    """Hyperparameters of the n-gram next-phrase baseline."""
+
     order: int = 3  # context length (trigram model by default)
     top_g: int = 6
     min_anomalies: int = 1

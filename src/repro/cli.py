@@ -24,6 +24,10 @@ Commands
     Train once, then score the test split clean *and* after seeded fault
     injection + hardened re-ingest; prints the recall/FP-rate deltas and
     the full fault/quarantine accounting.  Also honors ``--cache-dir``.
+``lint``
+    Run the deshlint static-analysis gate (rules R1-R5) over source
+    paths; exits 1 on any finding not covered by an inline suppression
+    or the baseline file.
 
 Examples
 --------
@@ -55,7 +59,20 @@ from .nn.model import SequenceRegressor
 from .parsing import LogParser, PhraseVocabulary
 from .simlog import generate_system
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "save_model",
+    "load_predictor",
+    "cmd_generate",
+    "cmd_train",
+    "cmd_predict",
+    "cmd_pipeline",
+    "cmd_evaluate",
+    "cmd_report",
+    "cmd_chaos",
+    "cmd_lint",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +127,33 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--seed", type=int, default=2018)
     r.add_argument("--train-fraction", type=float, default=0.3)
     r.add_argument("--out", required=True, help="markdown output path")
+
+    li = sub.add_parser("lint", help="run deshlint static analysis (R1-R5)")
+    li.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the installed repro package)",
+    )
+    li.add_argument("--json", action="store_true", help="machine-readable output")
+    li.add_argument(
+        "--rules",
+        help="comma-separated rule subset (e.g. R1,R4); default: all rules",
+    )
+    li.add_argument(
+        "--baseline",
+        help="baseline file of grandfathered findings "
+        "(default: ./lint-baseline.json when present)",
+    )
+    li.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    li.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="grandfather all current findings into the baseline file",
+    )
 
     c = sub.add_parser("chaos", help="measure degradation under injected faults")
     c.add_argument("--system", default="M3")
@@ -389,6 +433,58 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: static-analysis gate; exit 1 on any new finding.
+
+    With no paths, lints the installed ``repro`` package itself (the
+    self-lint CI gate).  ``--update-baseline`` grandfathers the current
+    findings so the gate only fails on regressions.
+    """
+    from .lint import Baseline, get_rules, lint_paths
+
+    paths = args.paths or [Path(__file__).parent]
+    rules = (
+        get_rules(r.strip() for r in args.rules.split(",") if r.strip())
+        if args.rules
+        else None
+    )
+    baseline_path: Path | None = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif not args.no_baseline and Path("lint-baseline.json").exists():
+        baseline_path = Path("lint-baseline.json")
+
+    if args.update_baseline:
+        report = lint_paths(paths, rules=rules)
+        target = baseline_path or Path("lint-baseline.json")
+        Baseline.from_findings(report.findings).save(
+            target, findings=report.findings
+        )
+        print(
+            f"wrote baseline with {len(report.findings)} "
+            f"grandfathered finding(s) to {target}"
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None and not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+    report = lint_paths(paths, rules=rules, baseline=baseline)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        suffix = (
+            f" ({len(report.baselined)} baselined)" if report.baselined else ""
+        )
+        print(
+            f"deshlint: {report.modules} modules, "
+            f"{len(report.findings)} finding(s){suffix}"
+        )
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """``repro chaos``: report metric degradation under injected faults."""
     import dataclasses
@@ -440,6 +536,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "report": cmd_report,
     "chaos": cmd_chaos,
+    "lint": cmd_lint,
 }
 
 

@@ -29,6 +29,8 @@ __all__ = [
     "ParallelError",
     "PipelineError",
     "ArtifactError",
+    "ContractError",
+    "LintError",
 ]
 
 
@@ -114,3 +116,15 @@ class PipelineError(ReproError, RuntimeError):
 
 class ArtifactError(ReproError, RuntimeError):
     """A pipeline artifact could not be written, read, or verified."""
+
+
+class ContractError(ShapeError):
+    """A runtime tensor contract (shape/dtype) was violated.
+
+    Derives from :class:`ShapeError` so callers guarding layer inputs
+    with ``except ShapeError`` also catch contract violations.
+    """
+
+
+class LintError(ReproError, RuntimeError):
+    """deshlint was invoked incorrectly or hit an unreadable input."""

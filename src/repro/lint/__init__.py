@@ -1,0 +1,48 @@
+"""deshlint — AST-based invariant checking for the Desh reproduction.
+
+The reproduction's trust chain (30/70 split, per-phase seeds, PR-1
+checkpoint bit-identity, PR-2 fingerprint-cache correctness) depends on
+invariants no test exercises directly: seeded RNG threading, pure
+pipeline stages, hash-order-free serialization, typed errors, and an
+honest public API.  deshlint machine-enforces them:
+
+=====  ==============================================================
+R1     RNG discipline — no stdlib ``random``, no module-level
+       ``np.random`` samplers; thread ``np.random.Generator`` objects.
+R2     Stage purity — nothing reachable from a ``Stage.run`` may read
+       the wall clock, the environment or OS entropy; ``run`` must not
+       mutate its ``StageContext``.
+R3     Determinism hygiene — no hash-order iteration over bare sets.
+R4     Exception hygiene — no bare excepts; broad catches need an
+       ``allow[R4]`` justification; raise ``repro.errors`` types.
+R5     Public API — docstrings + truthful ``__all__`` everywhere.
+=====  ==============================================================
+
+Findings are suppressed inline with ``# deshlint: allow[RULE] reason``
+(reason mandatory) or grandfathered via a checked-in baseline file; see
+``repro lint --help`` and the README's "Static analysis" section.
+"""
+
+from .baseline import Baseline
+from .engine import LintReport, lint_modules, lint_paths, lint_source, load_modules
+from .findings import Finding
+from .rules import ModuleInfo, Rule, all_rules, get_rules, register
+from .suppressions import Suppression, SuppressionIndex, parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "Rule",
+    "Suppression",
+    "SuppressionIndex",
+    "all_rules",
+    "get_rules",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "load_modules",
+    "parse_suppressions",
+    "register",
+]

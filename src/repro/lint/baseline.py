@@ -1,0 +1,94 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the self-lint gate turn red only for *new* findings:
+existing ones are recorded (by content key, so they track the flagged
+line through unrelated edits) and filtered out until someone fixes them
+and regenerates the file with ``repro lint --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, counts: "Counter[str] | None" = None) -> None:
+        self.counts: Counter[str] = Counter(counts or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline that grandfathers exactly *findings*."""
+        return cls(Counter(f.key() for f in findings))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file; raises :class:`LintError` when malformed."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except ValueError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} has unsupported format "
+                f"(want version {_VERSION})"
+            )
+        counts = Counter()
+        for entry in payload.get("entries", []):
+            counts[str(entry["key"])] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: "str | Path", *, findings: Sequence[Finding] = ()) -> None:
+        """Write the baseline; *findings* annotate entries for reviewers."""
+        notes: dict[str, Finding] = {}
+        for f in findings:
+            notes.setdefault(f.key(), f)
+        entries = []
+        for key in sorted(self.counts):
+            entry: dict = {"key": key, "count": self.counts[key]}
+            if key in notes:
+                f = notes[key]
+                entry["note"] = f"{f.path}: {f.rule} {f.message}"
+            entries.append(entry)
+        payload = {"version": _VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n")
+
+    # ------------------------------------------------------------------
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split *findings* into (new, baselined).
+
+        Each baseline entry absorbs at most ``count`` findings with its
+        key, so duplicating a grandfathered violation still turns the
+        gate red.
+        """
+        budget = Counter(self.counts)
+        fresh: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for f in findings:
+            key = f.key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                grandfathered.append(f)
+            else:
+                fresh.append(f)
+        return fresh, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,47 @@
+"""The unit of deshlint output: one :class:`Finding` at one source site.
+
+A finding's :meth:`~Finding.key` deliberately hashes the *content* of
+the flagged line rather than its number, so a baseline entry survives
+unrelated edits above it but stops matching the moment the flagged code
+itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    snippet: str = field(compare=False, default="")
+
+    def key(self) -> str:
+        """Baseline identity: rule + file + flagged-line content hash."""
+        text = f"{self.rule}|{self.path}|{self.snippet.strip()}"
+        return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+    def render(self) -> str:
+        """One-line human-readable form, ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (used by ``repro lint --json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+            "key": self.key(),
+        }

@@ -1,0 +1,116 @@
+"""The pluggable deshlint rule engine: rule protocol + registry.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.
+Rules see the repo through :class:`ModuleInfo` snapshots (path, source,
+parsed AST) and report :class:`~repro.lint.findings.Finding` objects
+from one or both hooks:
+
+* :meth:`Rule.check_module` — independent per-module checks;
+* :meth:`Rule.check_project` — whole-program checks that need every
+  module at once (R2's stage-purity reachability analysis).
+
+Importing this package loads the built-in rules R1–R5; external code
+can register additional rules before calling the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from ...errors import LintError
+from ..findings import Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rules",
+]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module as seen by the rules."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    module_path: str = ""  # dotted import path, when derivable
+
+    @property
+    def lines(self) -> list[str]:
+        """Source split into lines (1-indexed access via ``line(n)``)."""
+        if not hasattr(self, "_lines"):
+            self._lines = self.source.splitlines()
+        return self._lines
+
+    def line(self, n: int) -> str:
+        """Text of 1-indexed source line *n* ('' when out of range)."""
+        return self.lines[n - 1] if 1 <= n <= len(self.lines) else ""
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a finding anchored at *node*."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col,
+            rule=rule,
+            message=message,
+            snippet=self.line(line),
+        )
+
+
+class Rule:
+    """Base class for deshlint rules."""
+
+    #: Short stable identifier used in findings, suppressions, baselines.
+    id: str = ""
+    #: One-line description shown by ``repro lint --rules help`` and docs.
+    summary: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Findings derivable from one module in isolation."""
+        return ()
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Iterable[Finding]:
+        """Findings that need the whole module set (cross-file analysis)."""
+        return ()
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise LintError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise LintError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rules(ids: Iterable[str]) -> list[Rule]:
+    """Fresh instances of the named rules; unknown ids raise."""
+    out = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise LintError(f"unknown rule {rule_id!r} (have: {known})")
+        out.append(_REGISTRY[rule_id]())
+    return out
+
+
+# Built-in rules register themselves on import.
+from . import api, determinism, exceptions, purity, rng  # noqa: E402,F401

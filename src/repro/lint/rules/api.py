@@ -1,0 +1,172 @@
+"""R5 — public-API surface consistency.
+
+Every module must document itself and keep ``__all__`` truthful: the
+list is what ``from repro.x import *`` exports, what the docs index,
+and what downstream users treat as stable API.  The rule enforces:
+
+* a module docstring;
+* ``__all__`` present in any module that defines public top-level
+  functions or classes (``__main__``/``conftest`` exempt);
+* every ``__all__`` entry bound in the module, no duplicates;
+* every public top-level def/class listed in ``__all__``;
+* docstrings on public top-level defs/classes and their public methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterable, List, Optional, Set
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register
+
+__all__ = ["PublicApiRule"]
+
+_EXEMPT_FILES = {"__main__.py", "conftest.py", "setup.py"}
+
+
+def _all_entries(tree: ast.Module) -> "tuple[Optional[ast.AST], list[str]]":
+    """The ``__all__`` assignment node and its string entries, if present."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                entries = []
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            entries.append(elt.value)
+                return node, entries
+    return None, []
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, imports, assigns)."""
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    bound.update(
+                        e.id for e in target.elts if isinstance(e, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            bound.add(node.target.id)
+    return bound
+
+
+@register
+class PublicApiRule(Rule):
+    """Docstrings everywhere public; ``__all__`` complete and truthful."""
+
+    id = "R5"
+    summary = (
+        "module docstrings, public def/class/method docstrings, and an "
+        "__all__ that matches the public definitions"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Check docstring and ``__all__`` consistency of one module."""
+        findings: List[Finding] = []
+        tree = module.tree
+        filename = PurePath(module.path).name
+        if not ast.get_docstring(tree):
+            findings.append(
+                module.finding(
+                    tree, self.id, "module has no docstring"
+                )
+            )
+        public_defs = [
+            node
+            for node in tree.body
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and not node.name.startswith("_")
+        ]
+        for node in public_defs:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            if not ast.get_docstring(node):
+                findings.append(
+                    module.finding(
+                        node, self.id, f"public {kind} {node.name} has no docstring"
+                    )
+                )
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if (
+                        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and not item.name.startswith("_")
+                        and not ast.get_docstring(item)
+                    ):
+                        findings.append(
+                            module.finding(
+                                item,
+                                self.id,
+                                f"public method {node.name}.{item.name} "
+                                "has no docstring",
+                            )
+                        )
+        if filename in _EXEMPT_FILES:
+            return findings
+        all_node, entries = _all_entries(tree)
+        if all_node is None:
+            if public_defs:
+                findings.append(
+                    module.finding(
+                        tree,
+                        self.id,
+                        "module defines public API but has no __all__",
+                    )
+                )
+            return findings
+        seen: Set[str] = set()
+        for entry in entries:
+            if entry in seen:
+                findings.append(
+                    module.finding(
+                        all_node, self.id, f"__all__ lists {entry!r} twice"
+                    )
+                )
+            seen.add(entry)
+        bound = _bound_names(tree)
+        for entry in sorted(seen - bound):
+            findings.append(
+                module.finding(
+                    all_node,
+                    self.id,
+                    f"__all__ entry {entry!r} is not defined in the module",
+                )
+            )
+        missing = [n.name for n in public_defs if n.name not in seen]
+        for name in missing:
+            findings.append(
+                module.finding(
+                    all_node,
+                    self.id,
+                    f"public definition {name!r} is missing from __all__",
+                )
+            )
+        return findings

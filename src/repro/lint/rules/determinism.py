@@ -1,0 +1,109 @@
+"""R3 — determinism hygiene: no hash-order iteration over sets.
+
+Set iteration order depends on ``PYTHONHASHSEED`` for str keys, so a
+``for x in {...}`` (or ``list(set(...))``) feeding anything serialized
+or fingerprinted produces artifacts that differ between interpreter
+runs — exactly the cross-process instability the fingerprint cache
+cannot tolerate.  Order-insensitive reductions (``len``, ``sum``,
+``min``/``max``, ``any``/``all``, membership tests, ``sorted``) are
+fine; everything that *materializes an order* from a set must go
+through ``sorted(...)``.
+
+The rule is syntactic: it recognizes expressions that are certainly
+sets (literals, comprehensions, ``set()``/``frozenset()`` calls and
+set-algebra method calls) and flags ordered consumption of them.
+Set-typed *variables* are invisible to it — the cross-process
+``PYTHONHASHSEED`` test in tier-1 backstops that gap end to end.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from . import ModuleInfo, Rule, register
+
+__all__ = ["SetOrderRule"]
+
+#: Receiver methods returning a set whose order then leaks.
+_SET_ALGEBRA = {"union", "intersection", "difference", "symmetric_difference"}
+
+#: Callables that consume their argument as an ordered sequence.
+_ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether *node* is syntactically certain to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_ALGEBRA
+            and _is_set_expr(node.func.value)
+        ):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class SetOrderRule(Rule):
+    """Ordered consumption of a set must go through ``sorted(...)``."""
+
+    id = "R3"
+    summary = (
+        "no iteration/sequencing of bare sets (hash-order leaks into "
+        "serialized and fingerprinted output); wrap in sorted(...)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Flag for-loops, comprehensions and conversions over bare sets."""
+        findings: List[Finding] = []
+
+        def flag(node: ast.AST, how: str) -> None:
+            findings.append(
+                module.finding(
+                    node,
+                    self.id,
+                    f"{how} iterates a set in hash order "
+                    "(PYTHONHASHSEED-dependent); wrap it in sorted(...)",
+                )
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter
+            ):
+                flag(node.iter, "for-loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        flag(gen.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDERED_CONSUMERS
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    flag(node, f"{func.id}(...)")
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    flag(node, "str.join(...)")
+            elif isinstance(node, ast.Starred) and _is_set_expr(node.value):
+                flag(node, "star-unpacking")
+        return findings

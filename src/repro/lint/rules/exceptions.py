@@ -1,0 +1,141 @@
+"""R4 — exception hygiene.
+
+Two invariants:
+
+* **No invisible failure paths.**  A bare ``except:`` is always wrong.
+  A broad ``except Exception``/``BaseException`` is flagged even when
+  it re-raises: the chaos-hardening work (PR 1) showed that every
+  intentional broad catch deserves a written justification, so the rule
+  requires either narrowing to a concrete type or an explicit
+  ``# deshlint: allow[R4] reason`` annotation.  The message
+  distinguishes outright *swallowing* (no re-raise, no structured
+  logging in the handler) from an intentional-looking wrap-and-reraise.
+
+* **Typed errors only.**  ``raise ValueError(...)`` and friends inside
+  ``src/repro`` bypass the :mod:`repro.errors` hierarchy that callers
+  (and the CLI's single ``except ReproError``) rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from ..names import resolve_dotted, build_import_map
+from . import ModuleInfo, Rule, register
+
+__all__ = ["ExceptionHygieneRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+#: Builtin exceptions that must not be raised directly; repro code
+#: raises the matching ``repro.errors`` subclass instead.
+_BUILTIN_RAISES = {
+    "Exception", "BaseException", "ValueError", "TypeError", "RuntimeError",
+    "KeyError", "IndexError", "LookupError", "AttributeError", "OSError",
+    "IOError", "ArithmeticError", "ZeroDivisionError", "OverflowError",
+    "FileNotFoundError", "PermissionError", "TimeoutError", "ConnectionError",
+    "MemoryError", "UnicodeError", "EOFError", "BufferError",
+}
+
+#: Logger-ish receivers whose calls count as structured logging.
+_LOG_RECEIVERS = {"log", "logger", "logging"}
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception", "critical"}
+
+
+def _names_in_type(node: "ast.AST | None") -> List[str]:
+    """Exception class names captured by one handler's type expression."""
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    out = []
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            out.append(n.id)
+        elif isinstance(n, ast.Attribute):
+            out.append(n.attr)
+    return out
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains any ``raise``."""
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _handler_logs(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler calls a recognizable structured logger."""
+    for node in ast.walk(handler):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in _LOG_METHODS:
+            continue
+        recv = node.func.value
+        while isinstance(recv, ast.Attribute):
+            recv = recv.value
+        if isinstance(recv, ast.Name) and recv.id.lower() in _LOG_RECEIVERS:
+            return True
+    return False
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Broad catches need justification; raises must be repro.errors types."""
+
+    id = "R4"
+    summary = (
+        "no bare except; broad `except Exception` needs narrowing or an "
+        "allow[R4] reason; raise repro.errors types, not builtins"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Flag bare/broad handlers and raises of builtin exceptions."""
+        imap = build_import_map(module.tree, module.module_path)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.id,
+                            "bare `except:` catches everything including "
+                            "KeyboardInterrupt; name the exception type",
+                        )
+                    )
+                    continue
+                broad = [n for n in _names_in_type(node.type) if n in _BROAD]
+                if not broad:
+                    continue
+                if _handler_reraises(node) or _handler_logs(node):
+                    message = (
+                        f"broad `except {broad[0]}` — narrow it to the "
+                        "failure you expect, or annotate the intent with "
+                        "`# deshlint: allow[R4] reason`"
+                    )
+                else:
+                    message = (
+                        f"broad `except {broad[0]}` swallows the failure "
+                        "without re-raise or logging; narrow it and surface "
+                        "the error through repro.errors"
+                    )
+                findings.append(module.finding(node, self.id, message))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                dotted = resolve_dotted(exc, imap)
+                name = dotted.rsplit(".", 1)[-1] if dotted else None
+                if dotted is not None and name in _BUILTIN_RAISES and (
+                    dotted == name or dotted == f"builtins.{name}"
+                ):
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.id,
+                            f"raise {name} directly escapes the typed "
+                            "repro.errors hierarchy; raise the matching "
+                            "ReproError subclass",
+                        )
+                    )
+        return findings

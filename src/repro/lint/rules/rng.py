@@ -1,0 +1,106 @@
+"""R1 — RNG discipline.
+
+The reproduction's bit-for-bit determinism rests on every random draw
+flowing through an explicitly seeded :class:`numpy.random.Generator`
+(threaded via :mod:`repro.rng`).  Module-level NumPy samplers
+(``np.random.randint``/``seed``/...) and the stdlib :mod:`random`
+module share hidden global state, so one stray call silently couples
+unrelated subsystems and breaks fingerprint-cache bit-identity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from ..names import build_import_map, resolve_dotted
+from . import ModuleInfo, Rule, register
+
+__all__ = ["RngDisciplineRule"]
+
+#: ``numpy.random`` attributes that are fine to reference: the
+#: Generator API and the seeding machinery it is built from.
+_ALLOWED_NP_RANDOM = {
+    "Generator",
+    "default_rng",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register
+class RngDisciplineRule(Rule):
+    """Only explicit ``np.random.Generator`` streams may produce randomness."""
+
+    id = "R1"
+    summary = (
+        "no stdlib `random`, no module-level np.random samplers; thread "
+        "seeded np.random.Generator objects explicitly"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Flag stdlib-random imports and legacy ``np.random`` references."""
+        imap = build_import_map(module.tree, module.module_path)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(
+                            module.finding(
+                                node,
+                                self.id,
+                                "stdlib `random` shares hidden global state; "
+                                "use a seeded np.random.Generator "
+                                "(repro.rng.RngFactory)",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.id,
+                            "stdlib `random` shares hidden global state; "
+                            "use a seeded np.random.Generator "
+                            "(repro.rng.RngFactory)",
+                        )
+                    )
+                elif node.level == 0 and node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_NP_RANDOM:
+                            findings.append(
+                                module.finding(
+                                    node,
+                                    self.id,
+                                    f"numpy.random.{alias.name} draws from "
+                                    "the global NumPy RNG; use "
+                                    "default_rng(seed) and pass the "
+                                    "Generator explicitly",
+                                )
+                            )
+            elif isinstance(node, ast.Attribute):
+                dotted = resolve_dotted(node, imap)
+                if (
+                    dotted is not None
+                    and dotted.startswith("numpy.random.")
+                    and dotted.count(".") == 2
+                ):
+                    attr = dotted.rsplit(".", 1)[1]
+                    if attr not in _ALLOWED_NP_RANDOM:
+                        findings.append(
+                            module.finding(
+                                node,
+                                self.id,
+                                f"{dotted} uses the global NumPy RNG; use "
+                                "default_rng(seed) and pass the Generator "
+                                "explicitly",
+                            )
+                        )
+        return findings

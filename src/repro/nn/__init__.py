@@ -10,7 +10,9 @@ required pieces directly on NumPy with full backpropagation:
 * :mod:`~repro.nn.optimizers` — SGD (momentum), RMSprop, Adam,
 * :mod:`~repro.nn.embeddings` — skip-gram word2vec with negative sampling,
 * :mod:`~repro.nn.model` — the sequence classifier / regressor models
-  used by Desh phases 1 and 2-3 respectively.
+  used by Desh phases 1 and 2-3 respectively,
+* :mod:`~repro.nn.contracts` — runtime shape/dtype contracts on the
+  layer forward/backward paths (compiled out under ``python -O``).
 
 Everything is vectorized over the batch dimension (one fused gate matmul
 per timestep), following the hpc-parallel guide's "vectorize the inner
@@ -18,6 +20,7 @@ loop" idiom.
 """
 
 from .activations import sigmoid, tanh, softmax, relu
+from .contracts import TensorSpec, parse_spec, tensor_contract
 from .initializers import glorot_uniform, orthogonal
 from .layers import Dense, Embedding
 from .lstm import LSTMCell, StackedLSTM
@@ -29,6 +32,9 @@ from .data import sliding_windows, multi_step_targets, batch_iterator
 from .metrics import perplexity, topk_accuracy
 
 __all__ = [
+    "TensorSpec",
+    "parse_spec",
+    "tensor_contract",
     "sigmoid",
     "tanh",
     "softmax",

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import ShapeError
+from .contracts import tensor_contract
 from .initializers import glorot_uniform, zeros
 
 __all__ = ["Dense", "Embedding"]
@@ -40,6 +41,7 @@ class Dense:
         self.db = np.zeros_like(self.b)
         self._x: Optional[np.ndarray] = None
 
+    @tensor_contract("(..., in_dim):float -> (..., out_dim):float")
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Affine map over the trailing axis; caches the input for backward."""
         if x.shape[-1] != self.in_dim:
@@ -49,6 +51,7 @@ class Dense:
         self._x = x
         return x @ self.W + self.b
 
+    @tensor_contract("(..., out_dim):float -> (..., in_dim):float")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         """Accumulate parameter grads; return gradient w.r.t. the input."""
         if self._x is None:
@@ -91,6 +94,7 @@ class Embedding:
         self.dW = np.zeros_like(self.W)
         self._ids: Optional[np.ndarray] = None
 
+    @tensor_contract("(...):int -> (..., dim):float")
     def forward(self, ids: np.ndarray) -> np.ndarray:
         """Look up vectors for integer ids; caches ids for backward."""
         ids = np.asarray(ids)
@@ -104,6 +108,7 @@ class Embedding:
         self._ids = ids
         return self.W[ids]
 
+    @tensor_contract("(..., dim):float -> None")
     def backward(self, dvecs: np.ndarray) -> None:
         """Scatter-accumulate gradients into the embedding rows."""
         if self._ids is None:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from .activations import sigmoid, sigmoid_grad, tanh, tanh_grad
+from .contracts import tensor_contract
 from .initializers import glorot_uniform, orthogonal, zeros
 
 __all__ = ["LSTMCell", "StackedLSTM"]
@@ -52,6 +53,7 @@ class LSTMCell:
         self._cache: Optional[dict] = None
 
     # ------------------------------------------------------------------
+    @tensor_contract("(B, T, input_size):float -> (B, T, hidden_size):float")
     def forward(
         self,
         x: np.ndarray,
@@ -126,6 +128,7 @@ class LSTMCell:
         return hs
 
     # ------------------------------------------------------------------
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, input_size):float")
     def backward(self, dh_all: np.ndarray) -> np.ndarray:
         """BPTT given upstream gradients for every timestep's hidden state.
 
@@ -220,9 +223,11 @@ class StackedLSTM:
         for _ in range(num_layers):
             self.layers.append(LSTMCell(size, hidden_size, rng))
             size = hidden_size
+        self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
 
+    @tensor_contract("(B, T, input_size):float -> (B, T, hidden_size):float")
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Pass ``(B, T, input_size)`` through all layers; returns top-layer states."""
         h = x
@@ -230,6 +235,7 @@ class StackedLSTM:
             h = layer.forward(h)
         return h
 
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, input_size):float")
     def backward(self, dh: np.ndarray) -> np.ndarray:
         """Backprop through all layers; returns gradient w.r.t. the input."""
         for layer in reversed(self.layers):

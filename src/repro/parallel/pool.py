@@ -72,6 +72,8 @@ def ordered_parallel_map(
         for i, fut in enumerate(futures):  # submission order == input order
             try:
                 out.extend(fut.result())
+            # deshlint: allow[R4] fn is arbitrary caller code; any chunk
+            # failure must cancel the queue and re-raise as ParallelError
             except Exception as exc:
                 # Don't leave queued chunks running after a failure:
                 # cancel whatever has not started, then surface which

@@ -18,7 +18,7 @@ from __future__ import annotations
 import re
 from typing import Iterable
 
-__all__ = ["MASK", "mask_message", "tokenize", "DYNAMIC_PATTERNS"]
+__all__ = ["MASK", "mask_message", "mask_many", "tokenize", "DYNAMIC_PATTERNS"]
 
 MASK = "<*>"
 

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 from ..config import DeshConfig
 from ..core.phase1 import Phase1Result
+from ..errors import ArtifactError
 from ..core.phase3 import Phase3Predictor
 from ..parsing.pipeline import LogParser, ParseResult
 from ..simlog.record import LogRecord
@@ -169,9 +170,13 @@ def cached_transform(
         }
     )
     if store.has(stage, fingerprint):
+        # A corrupt cached artifact is a cache miss, not a crash: the
+        # store wraps any payload-read failure in ArtifactError, and we
+        # fall through to re-encode.  Anything else (a bug, not a bad
+        # cache entry) propagates as its typed repro.errors exception.
         try:
             return store.load(stage, fingerprint, _read_parse_result)
-        except Exception:
+        except ArtifactError:
             pass  # corrupt artifact: re-encode below
     parsed = parser.transform(records)
 

@@ -24,6 +24,7 @@ __all__ = [
     "fingerprint_bytes",
     "fingerprint_file",
     "fingerprint_records",
+    "combine",
 ]
 
 

@@ -14,6 +14,8 @@ from typing import Iterator
 
 import numpy as np
 
+from .errors import ConfigError
+
 __all__ = ["RngFactory", "generator", "derive_seed"]
 
 
@@ -57,7 +59,9 @@ class RngFactory:
 
     def __init__(self, root_seed: int = 0):
         if not isinstance(root_seed, (int, np.integer)):
-            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+            raise ConfigError(
+                f"root_seed must be an int, got {type(root_seed).__name__}"
+            )
         self.root_seed = int(root_seed)
 
     def seed_for(self, *path: str) -> int:

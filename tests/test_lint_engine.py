@@ -1,0 +1,216 @@
+"""Engine-level deshlint tests: suppressions, baseline, discovery, CLI."""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Baseline,
+    Finding,
+    get_rules,
+    lint_paths,
+    lint_source,
+    load_modules,
+    parse_suppressions,
+)
+
+pytestmark = pytest.mark.lint
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_trailing_allow_suppresses_own_line(self):
+        findings = lint_source(
+            "import random  # deshlint: allow[R1] docs example only\n",
+            rules=get_rules(["R1"]),
+        )
+        assert findings == []
+
+    def test_comment_line_covers_next_code_line(self):
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                # deshlint: allow[R1] legacy shim kept for comparison
+                import random
+                """
+            ),
+            rules=get_rules(["R1"]),
+        )
+        assert findings == []
+
+    def test_allow_skips_intervening_comment_lines(self):
+        # A multi-line justification block: the allow comment must reach
+        # past further comment lines to the first *code* line.
+        findings = lint_source(
+            textwrap.dedent(
+                """
+                try:
+                    work()
+                # deshlint: allow[R4] wrapping arbitrary callback failures
+                # (second line of the justification)
+                except Exception:
+                    pass
+                """
+            ),
+            rules=get_rules(["R4"]),
+        )
+        assert findings == []
+
+    def test_allow_without_reason_is_rejected_and_reported(self):
+        findings = lint_source(
+            "import random  # deshlint: allow[R1]\n",
+            rules=get_rules(["R1"]),
+        )
+        rules = {f.rule for f in findings}
+        assert "R1" in rules  # suppression did not take effect
+        assert "SUP" in rules  # and the malformed allow is itself flagged
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        findings = lint_source(
+            "import random  # deshlint: allow[R3] wrong rule id\n",
+            rules=get_rules(["R1"]),
+        )
+        assert {f.rule for f in findings} == {"R1"}
+
+    def test_allow_multiple_rules_in_one_comment(self):
+        index = parse_suppressions(
+            "x = 1  # deshlint: allow[R1, R4] shared justification\n"
+        )
+        assert index.covers(1, "R1")
+        assert index.covers(1, "R4")
+        assert not index.covers(1, "R2")
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _finding(self, snippet, line=3):
+        return Finding(
+            path="pkg/mod.py",
+            line=line,
+            col=1,
+            rule="R1",
+            message="msg",
+            snippet=snippet,
+        )
+
+    def test_round_trip(self, tmp_path):
+        f = self._finding("import random")
+        baseline = Baseline.from_findings([f])
+        path = tmp_path / "baseline.json"
+        baseline.save(path, findings=[f])
+        loaded = Baseline.load(path)
+        fresh, grandfathered = loaded.filter([f])
+        assert fresh == []
+        assert grandfathered == [f]
+
+    def test_key_tracks_line_drift(self):
+        # Same content on a different line is still grandfathered.
+        baseline = Baseline.from_findings([self._finding("import random", line=3)])
+        moved = self._finding("import random", line=40)
+        fresh, grandfathered = baseline.filter([moved])
+        assert fresh == []
+        assert grandfathered == [moved]
+
+    def test_count_budget_blocks_duplicates(self):
+        baseline = Baseline.from_findings([self._finding("import random")])
+        dupes = [self._finding("import random") for _ in range(2)]
+        fresh, grandfathered = baseline.filter(dupes)
+        assert len(grandfathered) == 1
+        assert len(fresh) == 1
+
+    def test_new_finding_is_fresh(self):
+        baseline = Baseline.from_findings([self._finding("import random")])
+        other = self._finding("from random import shuffle")
+        fresh, _ = baseline.filter([other])
+        assert fresh == [other]
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# Discovery / driver
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        modules, errors = load_modules([tmp_path])
+        assert modules == []
+        assert len(errors) == 1
+        assert errors[0].rule == "SYNTAX"
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError):
+            get_rules(["R99"])
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text('"""Doc."""\n')
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "stale.py").write_text("import random\n")
+        report = lint_paths([tmp_path], rules=get_rules(["R1"]))
+        assert report.modules == 1
+        assert report.findings == []
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\n")
+        (tmp_path / "a.py").write_text("import numpy as np\nnp.random.seed(0)\n")
+        report = lint_paths([tmp_path], rules=get_rules(["R1"]))
+        paths = [Path(f.path).name for f in report.findings]
+        assert paths == sorted(paths)
+
+
+# ----------------------------------------------------------------------
+# CLI flow: bad file -> exit 1; --update-baseline -> exit 0
+# ----------------------------------------------------------------------
+class TestCliLint:
+    def _run(self, *args, cwd):
+        src = Path(__file__).resolve().parents[1] / "src"
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", *args],
+            cwd=cwd,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_bad_file_fails_then_baseline_rescues(self, tmp_path):
+        bad = tmp_path / "offender.py"
+        bad.write_text('"""Doc."""\n\nimport random\n')
+
+        first = self._run(str(bad), "--no-baseline", cwd=tmp_path)
+        assert first.returncode == 1
+        assert "R1" in first.stdout
+
+        json_run = self._run(str(bad), "--no-baseline", "--json", cwd=tmp_path)
+        payload = json.loads(json_run.stdout)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "R1"
+
+        update = self._run(str(bad), "--update-baseline", cwd=tmp_path)
+        assert update.returncode == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+
+        second = self._run(str(bad), cwd=tmp_path)
+        assert second.returncode == 0
+        assert "baselined" in second.stdout

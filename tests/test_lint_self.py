@@ -1,0 +1,39 @@
+"""Tier-1 self-lint gate: the repo's own source must pass deshlint.
+
+This is the same check CI runs via ``repro lint``: every rule (R1-R5)
+over the installed ``repro`` package, with the checked-in baseline
+applied.  Any new finding turns the suite red.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import Baseline, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_DIR = Path(repro.__file__).resolve().parent
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+
+
+def test_repro_package_is_lint_clean():
+    baseline = Baseline.load(BASELINE_PATH) if BASELINE_PATH.exists() else None
+    report = lint_paths([PACKAGE_DIR], baseline=baseline)
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert report.ok, f"deshlint found new violations:\n{rendered}"
+    assert report.modules > 90  # the walk really covered the package
+
+
+def test_baseline_carries_no_stale_entries():
+    """Every baseline entry must still match a real finding.
+
+    A stale entry means someone fixed a grandfathered violation without
+    regenerating the baseline — the budget should shrink with the debt.
+    """
+    if not BASELINE_PATH.exists():
+        return
+    baseline = Baseline.load(BASELINE_PATH)
+    report = lint_paths([PACKAGE_DIR], baseline=baseline)
+    assert len(report.baselined) == len(baseline), (
+        "lint-baseline.json has entries no finding consumes; regenerate it "
+        "with `repro lint --update-baseline`"
+    )

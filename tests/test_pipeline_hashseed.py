@@ -1,0 +1,49 @@
+"""Stage fingerprints must not depend on PYTHONHASHSEED.
+
+Fingerprints are SHA-256 digests over canonicalized config payloads
+chained through the stage DAG; if any serialization step leaked set or
+dict-hash iteration order, the cache key would differ between
+interpreter runs and every artifact cache would silently miss.  This is
+exactly the invariant deshlint rule R3 protects statically — this test
+checks it end-to-end across interpreters with different hash seeds.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+_PROBE = """\
+import json
+from repro.config import DeshConfig
+from repro.pipeline import PipelineRunner, build_desh_stages
+
+runner = PipelineRunner(build_desh_stages(DeshConfig(), train_classifier=True))
+print(json.dumps(runner.fingerprints("d" * 64), sort_keys=True))
+"""
+
+
+def _fingerprints_under(hashseed: str) -> dict:
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    result = subprocess.run(
+        [sys.executable, "-c", _PROBE],
+        env={
+            "PYTHONPATH": str(src_dir),
+            "PYTHONHASHSEED": hashseed,
+            "PATH": "/usr/bin:/bin",
+        },
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def test_stage_fingerprints_identical_across_hash_seeds():
+    runs = [_fingerprints_under(seed) for seed in ("0", "1", "2")]
+    assert runs[0] == runs[1] == runs[2]
+    # Sanity: the probe really produced the full DAG.
+    assert len(runs[0]) == 7
+    assert all(len(fp) == 64 for fp in runs[0].values())

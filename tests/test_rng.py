@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import ConfigError
 from repro.rng import RngFactory, derive_seed, generator
 
 
@@ -63,7 +64,7 @@ class TestRngFactory:
         assert f.seed_for("a", "b") == derive_seed(11, "a", "b")
 
     def test_rejects_non_int_seed(self):
-        with pytest.raises(TypeError):
+        with pytest.raises(ConfigError):
             RngFactory("nope")  # type: ignore[arg-type]
 
     def test_repr_contains_seed(self):
