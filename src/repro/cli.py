@@ -25,9 +25,12 @@ Commands
     injection + hardened re-ingest; prints the recall/FP-rate deltas and
     the full fault/quarantine accounting.  Also honors ``--cache-dir``.
 ``lint``
-    Run the deshlint static-analysis gate (rules R1-R5) over source
-    paths; exits 1 on any finding not covered by an inline suppression
-    or the baseline file.
+    Run the deshlint static-analysis gate — syntactic rules R1-R5 plus
+    the dataflow analyses F1-F3 (shape flow, stage artifact flow,
+    parallel capture safety) — over source paths; exits 1 on any
+    finding not covered by an inline suppression or the baseline file.
+    ``--sarif`` additionally writes a SARIF 2.1.0 log for GitHub code
+    scanning; ``--rules list`` prints the registry grouped by category.
 
 Examples
 --------
@@ -128,7 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--train-fraction", type=float, default=0.3)
     r.add_argument("--out", required=True, help="markdown output path")
 
-    li = sub.add_parser("lint", help="run deshlint static analysis (R1-R5)")
+    li = sub.add_parser(
+        "lint", help="run deshlint static analysis (R1-R5, F1-F3)"
+    )
     li.add_argument(
         "paths",
         nargs="*",
@@ -137,7 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
     li.add_argument("--json", action="store_true", help="machine-readable output")
     li.add_argument(
         "--rules",
-        help="comma-separated rule subset (e.g. R1,R4); default: all rules",
+        nargs="?",
+        const="list",
+        help="comma-separated rule subset (e.g. R1,F2); default: all rules; "
+        "bare --rules (or --rules list) prints the registry by category",
+    )
+    li.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write findings as a SARIF 2.1.0 log (GitHub code scanning)",
     )
     li.add_argument(
         "--baseline",
@@ -438,9 +451,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     With no paths, lints the installed ``repro`` package itself (the
     self-lint CI gate).  ``--update-baseline`` grandfathers the current
-    findings so the gate only fails on regressions.
+    findings so the gate only fails on regressions; ``--sarif`` writes
+    a SARIF 2.1.0 log alongside the normal output.
     """
-    from .lint import Baseline, get_rules, lint_paths
+    from .lint import Baseline, all_rules, get_rules, lint_paths
+
+    if args.rules in ("list", "help"):
+        from .lint.rules import rules_by_category
+
+        for category, rules in rules_by_category().items():
+            print(f"{category}:")
+            for rule in rules:
+                print(f"  {rule.id:<4} {rule.summary}")
+        return 0
 
     paths = args.paths or [Path(__file__).parent]
     rules = (
@@ -470,6 +493,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if baseline_path is not None and not args.no_baseline:
         baseline = Baseline.load(baseline_path)
     report = lint_paths(paths, rules=rules, baseline=baseline)
+    if args.sarif:
+        from .lint.sarif import write_sarif
+
+        write_sarif(
+            args.sarif,
+            report,
+            rules if rules is not None else all_rules(),
+            root=Path.cwd(),
+        )
+        print(f"wrote SARIF log to {args.sarif}", file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_dict(), indent=1))
     else:

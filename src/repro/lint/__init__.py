@@ -18,15 +18,41 @@ R4     Exception hygiene — no bare excepts; broad catches need an
 R5     Public API — docstrings + truthful ``__all__`` everywhere.
 =====  ==============================================================
 
+On top of the syntactic rules, the :mod:`repro.lint.flow` package adds
+dataflow analyses — a per-function CFG builder, a generic worklist
+fixpoint solver and pluggable abstract domains — registered as rules
+in the same engine:
+
+=====  ==============================================================
+F1     Shape flow — abstract-interpret numpy/``repro.nn`` code against
+       the declared ``@tensor_contract`` specs; report *provable*
+       shape/dtype mismatches with the inferred shape chain.
+F2     Stage artifact flow — ``ctx.value()`` reads must be declared
+       deps with a producer of a compatible type; non-terminal
+       artifacts must have a consumer.
+F3     Parallel capture — workers given to ``ordered_parallel_map``
+       must not mutate captured shared state (lists, dicts, ndarrays,
+       RNG generators).
+=====  ==============================================================
+
 Findings are suppressed inline with ``# deshlint: allow[RULE] reason``
-(reason mandatory) or grandfathered via a checked-in baseline file; see
-``repro lint --help`` and the README's "Static analysis" section.
+(reason mandatory) or grandfathered via a checked-in baseline file;
+``repro lint --sarif`` exports SARIF 2.1.0 for GitHub code scanning.
+See ``repro lint --help`` and the README's "Static analysis" section.
 """
 
 from .baseline import Baseline
 from .engine import LintReport, lint_modules, lint_paths, lint_source, load_modules
 from .findings import Finding
-from .rules import ModuleInfo, Rule, all_rules, get_rules, register
+from .rules import (
+    ModuleInfo,
+    Rule,
+    all_rules,
+    get_rules,
+    register,
+    rules_by_category,
+)
+from .sarif import sarif_log, write_sarif
 from .suppressions import Suppression, SuppressionIndex, parse_suppressions
 
 __all__ = [
@@ -45,4 +71,7 @@ __all__ = [
     "load_modules",
     "parse_suppressions",
     "register",
+    "rules_by_category",
+    "sarif_log",
+    "write_sarif",
 ]

@@ -1,0 +1,280 @@
+"""F3 — parallel capture: shared mutable state in parallel workers.
+
+``ordered_parallel_map`` promises order-preserving results, but it says
+nothing about *when* workers run relative to each other — in thread
+mode they genuinely interleave.  A worker that mutates state captured
+from an enclosing scope (appending to a shared list, writing into a
+shared dict/ndarray, advancing a shared RNG ``Generator``) therefore
+races: results depend on scheduling, which silently breaks the repo's
+determinism guarantees even when no crash occurs.
+
+For every call site of ``ordered_parallel_map`` this rule resolves the
+submitted callable — a lambda, a locally/module-defined ``def``, or a
+``functools.partial`` over one — and flags, inside the worker body:
+
+* in-place mutator calls (``.append``/``.update``/...) on captured
+  names;
+* subscript/attribute stores rooted at captured names (``buf[i] = x``);
+* ``nonlocal``/``global`` rebinds;
+* ``np.add.at(shared, ...)`` scatter-adds;
+* method calls on captured RNG generators (each draw advances shared
+  state, so results depend on worker interleaving).
+
+Bound methods and other attribute callables are skipped — the receiver
+is explicit in the call and reviewed there; the common footgun this
+rule targets is the innocuous-looking closure.  Workers should return
+values and let ``ordered_parallel_map`` reassemble them in order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ..names import ImportMap, build_import_map, resolve_dotted
+from ..rules import ModuleInfo, Rule, register
+from ..rules.purity import _MUTATORS
+
+__all__ = ["ParallelCaptureRule"]
+
+#: Receiver names never treated as captured shared state.
+_BENIGN_ROOTS = {"self"}
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _bound_names(target: ast.AST, into: Set[str]) -> None:
+    """Names bound by an assignment/for/with target."""
+    if isinstance(target, ast.Name):
+        into.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _bound_names(elt, into)
+    elif isinstance(target, ast.Starred):
+        _bound_names(target.value, into)
+
+
+def _worker_locals(fn: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """(local names, nonlocal/global declarations) of a worker callable.
+
+    Over-approximate: names bound anywhere inside the worker — including
+    nested functions — count as local, so a shadowed capture is never
+    flagged (missed mutations are acceptable; false alarms are not).
+    """
+    local: Set[str] = set()
+    declared: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for group in (args.posonlyargs, args.args, args.kwonlyargs):
+            local.update(a.arg for a in group)
+        for special in (args.vararg, args.kwarg):
+            if special is not None:
+                local.add(special.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _bound_names(target, local)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            _bound_names(node.target, local)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _bound_names(node.target, local)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    _bound_names(item.optional_vars, local)
+        elif isinstance(node, ast.comprehension):
+            _bound_names(node.target, local)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            local.add(node.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn:
+                local.add(node.name)
+        elif isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared.update(node.names)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                local.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.NamedExpr):
+            _bound_names(node.target, local)
+    return local - declared, declared
+
+
+def _rng_names(tree: ast.AST, imap: ImportMap) -> Set[str]:
+    """Names assigned from ``default_rng(...)`` or annotated Generator."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            dotted = resolve_dotted(node.value.func, imap) or ""
+            if dotted.rpartition(".")[2] == "default_rng":
+                for target in node.targets:
+                    _bound_names(target, out)
+        elif isinstance(node, ast.AnnAssign):
+            annotation = ast.unparse(node.annotation)
+            if annotation.rpartition(".")[2] == "Generator":
+                _bound_names(node.target, out)
+    return out
+
+
+class _Scope:
+    """One lexical function scope while walking the module."""
+
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+
+
+def _find_worker(
+    expr: ast.AST, scopes: List[_Scope], imap: ImportMap
+) -> Optional[ast.AST]:
+    """Resolve the callable submitted to ``ordered_parallel_map``.
+
+    Returns the defining ``FunctionDef``/``Lambda`` node, or ``None``
+    for callables this rule does not analyze (bound methods, imports).
+    """
+    if isinstance(expr, ast.Lambda):
+        return expr
+    if isinstance(expr, ast.Call):
+        dotted = resolve_dotted(expr.func, imap) or ""
+        if dotted.rpartition(".")[2] == "partial" and expr.args:
+            return _find_worker(expr.args[0], scopes, imap)
+        return None
+    if not isinstance(expr, ast.Name):
+        return None
+    for scope in reversed(scopes):
+        body = getattr(scope.node, "body", [])
+        for stmt in body if isinstance(body, list) else []:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == expr.id
+            ):
+                return stmt
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Lambda):
+                names: Set[str] = set()
+                for target in stmt.targets:
+                    _bound_names(target, names)
+                if expr.id in names:
+                    return stmt.value
+    return None
+
+
+@register
+class ParallelCaptureRule(Rule):
+    """Workers submitted to ordered_parallel_map must not mutate captured state."""
+
+    id = "F3"
+    category = "dataflow"
+    summary = (
+        "parallel capture safety: callables submitted to "
+        "ordered_parallel_map must not mutate captured shared state "
+        "(lists/dicts/ndarrays/RNG generators) — workers race"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Sequence[Finding]:
+        """Find every submission site and analyze its worker closure."""
+        imap = build_import_map(module.tree, module.module_path)
+        rng = _rng_names(module.tree, imap)
+        findings: List[Finding] = []
+        self._walk(module, module.tree, [_Scope(module.tree)], imap, rng, findings)
+        return findings
+
+    def _walk(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        scopes: List[_Scope],
+        imap: ImportMap,
+        rng: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call):
+                dotted = resolve_dotted(child.func, imap) or ""
+                if dotted.rpartition(".")[2] == "ordered_parallel_map":
+                    self._check_site(module, child, scopes, imap, rng, findings)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                self._walk(
+                    module, child, scopes + [_Scope(child)], imap, rng, findings
+                )
+            else:
+                self._walk(module, child, scopes, imap, rng, findings)
+
+    def _check_site(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        scopes: List[_Scope],
+        imap: ImportMap,
+        rng: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        worker_expr = call.args[0] if call.args else None
+        if worker_expr is None:
+            worker_expr = next(
+                (kw.value for kw in call.keywords if kw.arg == "fn"), None
+            )
+        if worker_expr is None:
+            return
+        worker = _find_worker(worker_expr, scopes, imap)
+        if worker is None:
+            return
+        local, declared = _worker_locals(worker)
+        reported: Set[Tuple[int, int, str]] = set()
+
+        def flag(node: ast.AST, root: str, what: str) -> None:
+            key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0), root)
+            if key in reported:
+                return
+            reported.add(key)
+            findings.append(
+                module.finding(
+                    node,
+                    self.id,
+                    f"worker submitted to ordered_parallel_map {what} "
+                    f"captured {root!r}; parallel workers race on shared "
+                    "state — return a value and let the pool reassemble "
+                    "results in order",
+                )
+            )
+
+        def is_captured(name: Optional[str]) -> bool:
+            return (
+                name is not None
+                and name not in local
+                and name not in _BENIGN_ROOTS
+            )
+
+        body = worker.body if isinstance(worker.body, list) else [worker.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    root = _root_name(node.func.value)
+                    dotted = resolve_dotted(node.func, imap) or ""
+                    if dotted == "numpy.add.at" and node.args:
+                        target = _root_name(node.args[0])
+                        if is_captured(target):
+                            flag(node, target, "scatter-writes into")
+                            continue
+                    if node.func.attr in _MUTATORS and is_captured(root):
+                        flag(node, root, f"calls .{node.func.attr}() on")
+                    elif is_captured(root) and root in rng:
+                        flag(node, root, "advances the RNG state of")
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, (ast.Subscript, ast.Attribute)):
+                            root = _root_name(target)
+                            if is_captured(root):
+                                flag(node, root, "assigns into")
+                        elif isinstance(target, ast.Name) and target.id in declared:
+                            flag(node, target.id, "rebinds nonlocal/global")

@@ -1,0 +1,264 @@
+"""Per-function control-flow graph over the Python AST.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+*statement* granularity.  Compound statements contribute only their
+head to a block — an ``if`` head evaluates its test, a ``for`` head
+binds its target — while their bodies become separate blocks wired with
+the appropriate edges.  The graph is deliberately a sound
+over-approximation of CPython's actual control flow:
+
+* every block created inside a ``try`` body gets an edge to every
+  handler of that ``try`` (any statement may raise);
+* ``raise`` jumps to the innermost enclosing handler when one exists,
+  else to the exit block;
+* ``finally`` bodies are sequenced on the fall-through paths; a
+  ``return``/``raise`` that would dynamically route *through* a
+  ``finally`` edges straight to the exit/handler instead (documented
+  soundness caveat — the analyses only ever lose precision from it);
+* ``with`` bodies are sequenced linearly (context-manager exceptional
+  edges are ignored);
+* comprehensions are expressions and never split a block.
+
+Block ids are assigned in construction order, so :meth:`CFG.describe`
+output is deterministic — the golden-CFG tests compare it verbatim.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    """One basic block: a run of statements with a single entry point."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, target: int) -> None:
+        """Add an edge to *target*, keeping the successor list deduped."""
+        if target not in self.succs:
+            self.succs.append(target)
+
+
+@dataclass
+class CFG:
+    """A built control-flow graph: blocks plus entry/exit designators."""
+
+    blocks: List[Block]
+    entry: int
+    exit: int
+
+    def block(self, block_id: int) -> Block:
+        """The block with id *block_id*."""
+        return self.blocks[block_id]
+
+    def preds(self, block_id: int) -> List[int]:
+        """Ids of all predecessors of *block_id*, in id order."""
+        return [b.id for b in self.blocks if block_id in b.succs]
+
+    def rpo(self) -> List[int]:
+        """Reverse-postorder block ids from the entry (iterative DFS)."""
+        seen = set()
+        order: List[int] = []
+        stack: List[tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            node, idx = stack[-1]
+            succs = self.blocks[node].succs
+            if idx < len(succs):
+                stack[-1] = (node, idx + 1)
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        order.reverse()
+        return order
+
+    def describe(self) -> str:
+        """Deterministic one-line-per-block rendering (golden-test form).
+
+        ``b<id>[Stmt,Stmt] -> b2,b3`` per block; the head statement of a
+        compound appears under its node-type name, the exit block is
+        labelled ``exit``.
+        """
+        lines = []
+        for block in self.blocks:
+            kinds = ",".join(type(s).__name__ for s in block.stmts) or "-"
+            succs = ",".join(f"b{i}" for i in block.succs) or "-"
+            tag = " (exit)" if block.id == self.exit else ""
+            lines.append(f"b{block.id}[{kinds}]{tag} -> {succs}")
+        return "\n".join(lines)
+
+
+#: Statement types whose head joins the current block while their
+#: bodies are lowered into separate blocks.
+_COMPOUND = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.Try, ast.With, ast.AsyncWith)
+
+
+class _Builder:
+    """Stateful lowering of one statement list into a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self._new_block().id
+        self.exit = self._new_block().id
+        #: (head_id, after_id) per enclosing loop, innermost last.
+        self.loops: List[tuple[int, int]] = []
+        #: Handler-entry block ids per enclosing try, innermost last.
+        self.handlers: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _raise_target(self) -> int:
+        """Where an exception goes: innermost handler set, else exit."""
+        if self.handlers and self.handlers[-1]:
+            return self.handlers[-1][0]
+        return self.exit
+
+    # ------------------------------------------------------------------
+    def lower(self, stmts: List[ast.stmt], current: Optional[int]) -> Optional[int]:
+        """Lower *stmts* starting in block *current*.
+
+        Returns the fall-through block id, or ``None`` when every path
+        terminated (return/raise/break/continue).
+        """
+        for stmt in stmts:
+            if current is None:
+                return None  # unreachable tail; keep the CFG minimal
+            current = self._lower_stmt(stmt, current)
+        return current
+
+    def _lower_stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._lower_loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].stmts.append(stmt)
+            return self.lower(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].stmts.append(stmt)
+            target = self.exit if isinstance(stmt, ast.Return) else self._raise_target()
+            self.blocks[current].add_succ(target)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self.blocks[current].add_succ(self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.blocks[current].stmts.append(stmt)
+            if self.loops:
+                self.blocks[current].add_succ(self.loops[-1][0])
+            return None
+        self.blocks[current].stmts.append(stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _lower_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].stmts.append(stmt)  # head: evaluates test
+        then_entry = self._new_block()
+        self.blocks[current].add_succ(then_entry.id)
+        then_exit = self.lower(stmt.body, then_entry.id)
+        after = self._new_block()
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self.blocks[current].add_succ(else_entry.id)
+            else_exit = self.lower(stmt.orelse, else_entry.id)
+            if else_exit is not None:
+                self.blocks[else_exit].add_succ(after.id)
+        else:
+            self.blocks[current].add_succ(after.id)
+        if then_exit is not None:
+            self.blocks[then_exit].add_succ(after.id)
+        return after.id
+
+    def _lower_loop(self, stmt: ast.stmt, current: int) -> int:
+        head = self._new_block()
+        head.stmts.append(stmt)  # head: evaluates test / binds target
+        self.blocks[current].add_succ(head.id)
+        after = self._new_block()
+        body_entry = self._new_block()
+        head.add_succ(body_entry.id)
+        self.loops.append((head.id, after.id))
+        body_exit = self.lower(stmt.body, body_entry.id)
+        self.loops.pop()
+        if body_exit is not None:
+            self.blocks[body_exit].add_succ(head.id)  # back edge
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            else_entry = self._new_block()
+            head.add_succ(else_entry.id)
+            else_exit = self.lower(orelse, else_entry.id)
+            if else_exit is not None:
+                self.blocks[else_exit].add_succ(after.id)
+        else:
+            head.add_succ(after.id)
+        return after.id
+
+    def _lower_try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        self.blocks[current].stmts.append(stmt)  # head marker
+        handler_entries = [self._new_block() for _ in stmt.handlers]
+        body_entry = self._new_block()
+        self.blocks[current].add_succ(body_entry.id)
+        first_body_block = body_entry.id
+        self.handlers.append([b.id for b in handler_entries])
+        body_exit = self.lower(stmt.body, body_entry.id)
+        self.handlers.pop()
+        # Any statement in the body may raise: every block lowered for
+        # the body gets an edge to every handler entry.
+        body_blocks = range(first_body_block, len(self.blocks))
+        for block_id in body_blocks:
+            if all(block_id != h.id for h in handler_entries):
+                for h in handler_entries:
+                    self.blocks[block_id].add_succ(h.id)
+        if stmt.orelse and body_exit is not None:
+            body_exit = self.lower(stmt.orelse, body_exit)
+
+        exits: List[int] = []
+        if body_exit is not None:
+            exits.append(body_exit)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_exit = self.lower(handler.body, entry.id)
+            if handler_exit is not None:
+                exits.append(handler_exit)
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            for ex in exits:
+                self.blocks[ex].add_succ(final_entry.id)
+            final_exit = self.lower(stmt.finalbody, final_entry.id)
+            if final_exit is None:
+                return None
+            after = self._new_block()
+            self.blocks[final_exit].add_succ(after.id)
+            return after.id
+        if not exits:
+            return None
+        after = self._new_block()
+        for ex in exits:
+            self.blocks[ex].add_succ(after.id)
+        return after.id
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the control-flow graph of one function definition."""
+    builder = _Builder()
+    tail = builder.lower(list(func.body), builder.entry)
+    if tail is not None:
+        builder.blocks[tail].add_succ(builder.exit)
+    return CFG(blocks=builder.blocks, entry=builder.entry, exit=builder.exit)

@@ -1,0 +1,160 @@
+"""Abstract values for the dataflow analyses.
+
+The lattice is deliberately shallow so every analysis terminates fast
+and — more importantly — so F1 only ever reports *provable* facts:
+
+* a :class:`Dim` is a concrete ``int``, a named symbol (``Sym``), or
+  top (unknown).  Two dims are provably unequal only when both are
+  concrete ints; distinct symbols are *incomparable*, never an error;
+* a :class:`ShapeVal` is a tuple of dims with an optional unknown
+  leading prefix plus a coarse dtype family and a provenance chain;
+* a :class:`DimVal` is a scalar known to be usable as a dimension
+  (``B, T, _ = x.shape`` binds these);
+* an :class:`InstanceVal` is a constructed nn layer with the dims its
+  constructor pinned (``Dense(4, 8, rng)`` binds ``in_dim=4``).
+
+``UNKNOWN`` (absence of information) is modelled by *omitting* the
+variable from the environment; :func:`join_envs` drops any variable the
+branches disagree on beyond the per-field joins below.  Joins only move
+up the lattice (value -> TOP dims -> dropped), so environments stabilize
+in a small, bounded number of sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "Dim",
+    "DimVal",
+    "InstanceVal",
+    "ShapeVal",
+    "TOP_DIM",
+    "UNKNOWN",
+    "join_dims",
+    "join_envs",
+    "join_values",
+]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One dimension: concrete int, named symbol, or unknown (top)."""
+
+    kind: str  # "int" | "sym" | "top"
+    value: object = None
+
+    @staticmethod
+    def of_int(n: int) -> "Dim":
+        """A concrete dimension."""
+        return Dim("int", int(n))
+
+    @staticmethod
+    def sym(name: str) -> "Dim":
+        """A symbolic dimension, compared by name."""
+        return Dim("sym", name)
+
+    def render(self) -> str:
+        """Human-readable form used in finding messages."""
+        if self.kind == "int":
+            return str(self.value)
+        if self.kind == "sym":
+            return str(self.value)
+        return "?"
+
+    def provably_differs(self, other: "Dim") -> bool:
+        """True only when both dims are concrete ints and unequal."""
+        return (
+            self.kind == "int" and other.kind == "int" and self.value != other.value
+        )
+
+
+TOP_DIM = Dim("top")
+
+
+def join_dims(a: Dim, b: Dim) -> Dim:
+    """Least upper bound of two dims (equal -> kept, else top)."""
+    return a if a == b else TOP_DIM
+
+
+@dataclass(frozen=True)
+class ShapeVal:
+    """Abstract tensor: dims, optional unknown leading prefix, dtype.
+
+    ``dtype`` is one of ``"float"``/``"int"``/``"bool"`` or ``None``
+    for unknown.  ``chain`` records how the value was derived ("np.zeros
+    at line 4 -> (3, 5):float"); it is provenance only and excluded from
+    equality so fixpoint iteration converges.
+    """
+
+    dims: Tuple[Dim, ...]
+    lead_unknown: bool = False
+    dtype: Optional[str] = None
+    chain: Tuple[str, ...] = field(default=(), compare=False)
+
+    def render(self) -> str:
+        """Shape text like ``(..., 3, ?):float``."""
+        parts = ["..."] if self.lead_unknown else []
+        parts += [d.render() for d in self.dims]
+        suffix = f":{self.dtype}" if self.dtype else ""
+        return f"({', '.join(parts)}){suffix}"
+
+    def with_step(self, step: str) -> "ShapeVal":
+        """Copy with *step* appended to the provenance chain (capped)."""
+        chain = (self.chain + (step,))[-6:]
+        return ShapeVal(self.dims, self.lead_unknown, self.dtype, chain)
+
+
+@dataclass(frozen=True)
+class DimVal:
+    """A scalar variable known to carry a dimension value."""
+
+    dim: Dim
+
+
+@dataclass(frozen=True)
+class InstanceVal:
+    """A constructed nn layer and the dims its constructor bound."""
+
+    layer: str  # registry key (qualified layer name)
+    binds: Tuple[Tuple[str, Dim], ...]  # sorted (ctor param, dim) pairs
+
+    def bound(self, name: str) -> Optional[Dim]:
+        """The dim bound for constructor parameter *name*, if any."""
+        for param, dim in self.binds:
+            if param == name:
+                return dim
+        return None
+
+
+#: Absence of information; environments simply omit unknown variables,
+#: and expression evaluation returns this sentinel.
+UNKNOWN = None
+
+
+def join_values(a: object, b: object) -> object:
+    """Least upper bound of two abstract values (``UNKNOWN`` absorbs)."""
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    if a == b:
+        return a
+    if isinstance(a, ShapeVal) and isinstance(b, ShapeVal):
+        if a.lead_unknown != b.lead_unknown or len(a.dims) != len(b.dims):
+            return UNKNOWN
+        dtype = a.dtype if a.dtype == b.dtype else None
+        dims = tuple(join_dims(x, y) for x, y in zip(a.dims, b.dims))
+        return ShapeVal(dims, a.lead_unknown, dtype, a.chain)
+    if isinstance(a, DimVal) and isinstance(b, DimVal):
+        return DimVal(join_dims(a.dim, b.dim))
+    return UNKNOWN
+
+
+def join_envs(a: Dict[str, object], b: Dict[str, object]) -> Dict[str, object]:
+    """Join two environments; variables the sides disagree on drop out."""
+    out: Dict[str, object] = {}
+    for name in a.keys() & b.keys():
+        joined = join_values(a[name], b[name])
+        if joined is not UNKNOWN:
+            out[name] = joined
+    return out

@@ -1,0 +1,113 @@
+"""Generic worklist fixpoint solver over a :class:`~.cfg.CFG`.
+
+The solver is parametric in the abstract domain: anything implementing
+:class:`Domain` can be propagated to a fixpoint.  A forward analysis is
+assumed (states flow along CFG edges from the entry).  Termination is
+the domain's responsibility — its lattice must have finite height under
+``join`` — but the solver also carries a hard pass budget as a backstop
+so a buggy domain degrades into lost precision, never a hang: when the
+budget is exhausted the current (still sound-for-reporting, since the
+analyses only report *provable* facts) states are returned with
+``converged=False``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Generic, TypeVar
+
+from .cfg import CFG, Block
+
+__all__ = ["Domain", "SolveResult", "solve"]
+
+S = TypeVar("S")
+
+
+class Domain(Generic[S]):
+    """Abstract-domain protocol consumed by :func:`solve`.
+
+    Subclasses supply the entry state, the join (least upper bound) of
+    two states, and the block transfer function.  ``equals`` defaults
+    to ``==`` which suits dict/tuple-shaped states.
+    """
+
+    def initial(self) -> S:
+        """State holding at the function entry."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, state: S) -> S:
+        """State after executing *block* from *state*."""
+        raise NotImplementedError
+
+    def equals(self, a: S, b: S) -> bool:
+        """Fixpoint test between successive states at one block."""
+        return a == b
+
+
+@dataclass
+class SolveResult(Generic[S]):
+    """Fixpoint states plus solver accounting."""
+
+    #: Block id -> state holding at block entry.
+    in_states: Dict[int, S]
+    #: Block id -> state holding at block exit.
+    out_states: Dict[int, S]
+    #: Total block transfers executed before reaching the fixpoint.
+    passes: int
+    #: False when the pass budget ran out before stabilizing.
+    converged: bool
+
+
+def solve(cfg: CFG, domain: Domain[S], *, max_passes_per_block: int = 64) -> SolveResult[S]:
+    """Run *domain* over *cfg* to a forward fixpoint.
+
+    Blocks are seeded in reverse postorder (loops converge in few
+    sweeps); the worklist then re-queues only successors of blocks
+    whose out-state changed.
+    """
+    order = cfg.rpo()
+    position = {block_id: i for i, block_id in enumerate(order)}
+    preds: Dict[int, list] = {block_id: [] for block_id in order}
+    for block_id in order:
+        for succ in cfg.block(block_id).succs:
+            if succ in preds:
+                preds[succ].append(block_id)
+
+    in_states: Dict[int, S] = {}
+    out_states: Dict[int, S] = {}
+    budget = max_passes_per_block * max(1, len(order))
+    passes = 0
+    queue = deque(order)
+    queued = set(order)
+    while queue:
+        if passes >= budget:
+            return SolveResult(in_states, out_states, passes, converged=False)
+        block_id = queue.popleft()
+        queued.discard(block_id)
+        state = domain.initial() if block_id == cfg.entry else None
+        for pred in preds[block_id]:
+            if pred not in out_states:
+                continue
+            state = (
+                out_states[pred]
+                if state is None
+                else domain.join(state, out_states[pred])
+            )
+        if state is None:
+            continue  # no predecessor solved yet; a later pass re-queues
+        in_states[block_id] = state
+        out = domain.transfer(cfg.block(block_id), state)
+        passes += 1
+        if block_id in out_states and domain.equals(out_states[block_id], out):
+            continue
+        out_states[block_id] = out
+        for succ in cfg.block(block_id).succs:
+            if succ in position and succ not in queued:
+                queue.append(succ)
+                queued.add(succ)
+    return SolveResult(in_states, out_states, passes, converged=True)

@@ -1,0 +1,304 @@
+"""F2 — stage artifact flow: producer/consumer consistency over the DAG.
+
+Every ``Stage`` subclass declares ``name``/``deps`` and reads upstream
+artifacts through ``ctx.value("name")`` (or ``ctx.inputs["name"]``).
+This rule extracts those reads statically and checks them against the
+set of producers visible in the linted project:
+
+* a read of an artifact the stage did not declare in ``deps`` — the
+  runner only populates declared inputs, so this is a guaranteed
+  ``KeyError`` at run time;
+* an artifact consumed (read or declared) that **no** stage produces;
+* a producer/consumer *type* mismatch, proved from the producer's
+  ``run`` return annotation against the consumer's annotated read
+  (``art: ParseArtifact = ctx.value("parse")``);
+* an artifact produced but never consumed by any other stage — dead
+  weight in the DAG — unless the stage marks itself ``terminal = True``
+  (sink stages: their artifact is the pipeline's *output*);
+* two stages claiming the same ``name`` (the artifact store keys
+  directories by name, so duplicates silently overwrite).
+
+Declared-but-unread deps are deliberately **not** flagged: a dep edge
+without a read is how a stage keys its cache fingerprint on an
+upstream artifact it does not consume directly (``Phase3Stage``).
+
+Soundness caveat: the producer set is the linted module set.  Linting a
+single file that consumes artifacts produced elsewhere reports them as
+unproduced — run F2 over the whole package, as the CI gate does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..findings import Finding
+from ..rules import ModuleInfo, Rule, register
+from ..rules.purity import _ctx_param, _stage_classes
+
+__all__ = ["StageFlowRule"]
+
+#: typing aliases folded onto their builtin spellings before comparison.
+_GENERIC_ALIASES = {"List": "list", "Tuple": "tuple", "Dict": "dict", "Set": "set"}
+_OPTIONAL_RE = re.compile(r"^(?:typing\.)?Optional\[(?P<inner>.*)\]$")
+_DOTTED_RE = re.compile(r"\b(?:[A-Za-z_]\w*\.)+(?P<last>[A-Za-z_]\w*)")
+_SIMPLE_RE = re.compile(r"^[A-Za-z_]\w*$")
+#: annotations that promise nothing — never part of a provable mismatch.
+_ANY_TYPES = {"object", "Any", "None"}
+
+
+@dataclass
+class _StageDecl:
+    """Statically-extracted facts about one concrete Stage subclass."""
+
+    module: ModuleInfo
+    node: ast.ClassDef
+    name: str
+    deps: Tuple[str, ...]
+    terminal: bool = False
+    #: (artifact name, read expression node, consumer annotation or None)
+    reads: List[Tuple[str, ast.AST, Optional[str]]] = field(default_factory=list)
+    #: ``run``'s return annotation text, when present.
+    returns: Optional[str] = None
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _str_tuple(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for elt in node.elts:
+        text = _const_str(elt)
+        if text is None:
+            return None
+        out.append(text)
+    return tuple(out)
+
+
+def _read_artifact(node: ast.AST, ctx: str) -> Optional[str]:
+    """The artifact name of a ``ctx.value("x")``/``ctx.inputs["x"]`` read."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "value"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == ctx
+        and len(node.args) == 1
+    ):
+        return _const_str(node.args[0])
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "inputs"
+        and isinstance(node.value.value, ast.Name)
+        and node.value.value.id == ctx
+    ):
+        return _const_str(node.slice)
+    return None
+
+
+def _extract_stage(module: ModuleInfo, cls: ast.ClassDef) -> Optional[_StageDecl]:
+    name = ""
+    deps: Tuple[str, ...] = ()
+    terminal = False
+    run_node: Optional[ast.FunctionDef] = None
+    for stmt in cls.body:
+        target = None
+        value = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if isinstance(target, ast.Name) and value is not None:
+            if target.id == "name":
+                name = _const_str(value) or ""
+            elif target.id == "deps":
+                deps = _str_tuple(value) or ()
+            elif target.id == "terminal":
+                terminal = isinstance(value, ast.Constant) and value.value is True
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "run":
+            run_node = stmt
+    if not name or run_node is None:
+        return None  # abstract/partial class: nothing checkable
+    decl = _StageDecl(module, cls, name, deps, terminal)
+    if run_node.returns is not None:
+        decl.returns = ast.unparse(run_node.returns)
+    ctx = _ctx_param(run_node)
+    if ctx is None:
+        return decl
+    annotated: Dict[int, str] = {}
+    for node in ast.walk(run_node):
+        if (
+            isinstance(node, ast.AnnAssign)
+            and node.value is not None
+            and _read_artifact(node.value, ctx) is not None
+        ):
+            annotated[id(node.value)] = ast.unparse(node.annotation)
+    for node in ast.walk(run_node):
+        artifact = _read_artifact(node, ctx)
+        if artifact is not None:
+            decl.reads.append((artifact, node, annotated.get(id(node))))
+    return decl
+
+
+def _normalize_type(text: str) -> str:
+    """Canonical spelling for provable-mismatch comparison only."""
+    text = text.strip().strip("'\"")
+    while True:
+        match = _OPTIONAL_RE.match(text)
+        if match is None:
+            break
+        text = match.group("inner").strip()
+    text = _DOTTED_RE.sub(lambda m: m.group("last"), text)
+    for alias, builtin in _GENERIC_ALIASES.items():
+        text = re.sub(rf"\b{alias}\b", builtin, text)
+    return re.sub(r"\s+", "", text)
+
+
+def _provable_mismatch(produced: str, consumed: str) -> bool:
+    """True only when both annotations are simple and plainly disagree."""
+    a, b = _normalize_type(produced), _normalize_type(consumed)
+    if a == b or a in _ANY_TYPES or b in _ANY_TYPES:
+        return False
+    return bool(_SIMPLE_RE.match(a)) and bool(_SIMPLE_RE.match(b))
+
+
+@register
+class StageFlowRule(Rule):
+    """Producer/consumer consistency of stage artifacts across the DAG."""
+
+    id = "F2"
+    category = "dataflow"
+    summary = (
+        "stage artifact flow: every ctx.value() read must be a declared "
+        "dep with a producer of a compatible type; non-terminal artifacts "
+        "must have a consumer"
+    )
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> Sequence[Finding]:
+        """Cross-check every extracted stage against the producer set."""
+        by_module = {m.module_path or m.path: m for m in modules}
+        stages: List[_StageDecl] = []
+        for mod, cls_name in sorted(_stage_classes(modules)):
+            module = by_module[mod]
+            cls = next(
+                (
+                    n
+                    for n in module.tree.body
+                    if isinstance(n, ast.ClassDef) and n.name == cls_name
+                ),
+                None,
+            )
+            if cls is None:
+                continue
+            decl = _extract_stage(module, cls)
+            if decl is not None:
+                stages.append(decl)
+        findings: List[Finding] = []
+        producers: Dict[str, _StageDecl] = {}
+        for decl in stages:
+            prior = producers.get(decl.name)
+            if prior is not None:
+                findings.append(
+                    decl.module.finding(
+                        decl.node,
+                        self.id,
+                        f"duplicate stage name {decl.name!r} (also "
+                        f"{prior.node.name} in {prior.module.path}); "
+                        "artifact directories would collide",
+                    )
+                )
+            else:
+                producers[decl.name] = decl
+        for decl in stages:
+            findings.extend(self._check_stage(decl, producers))
+        findings.extend(self._unconsumed(stages))
+        return findings
+
+    def _check_stage(
+        self, decl: _StageDecl, producers: Dict[str, _StageDecl]
+    ) -> List[Finding]:
+        out: List[Finding] = []
+        declared = set(decl.deps)
+        seen: set = set()
+        for artifact, node, annotation in decl.reads:
+            if artifact not in declared and artifact not in seen:
+                seen.add(artifact)
+                out.append(
+                    decl.module.finding(
+                        node,
+                        self.id,
+                        f"stage {decl.name!r} reads artifact {artifact!r} "
+                        f"without declaring it in deps {decl.deps!r}; the "
+                        "runner only provides declared inputs (KeyError at "
+                        "run time, and the cache fingerprint misses the edge)",
+                    )
+                )
+            producer = producers.get(artifact)
+            if producer is None:
+                key = ("missing", artifact)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(
+                        decl.module.finding(
+                            node,
+                            self.id,
+                            f"stage {decl.name!r} consumes artifact "
+                            f"{artifact!r} but no stage produces it",
+                        )
+                    )
+            elif (
+                annotation is not None
+                and producer.returns is not None
+                and _provable_mismatch(producer.returns, annotation)
+            ):
+                out.append(
+                    decl.module.finding(
+                        node,
+                        self.id,
+                        f"stage {decl.name!r} reads {artifact!r} as "
+                        f"{annotation} but its producer "
+                        f"{producer.node.name}.run returns {producer.returns}",
+                    )
+                )
+        for dep in decl.deps:
+            if dep not in producers:
+                out.append(
+                    decl.module.finding(
+                        decl.node,
+                        self.id,
+                        f"stage {decl.name!r} declares dep {dep!r} but no "
+                        "stage produces it",
+                    )
+                )
+        return out
+
+    def _unconsumed(self, stages: List[_StageDecl]) -> List[Finding]:
+        if len(stages) < 2:
+            return []  # a lone stage is trivially the pipeline output
+        consumed_by: Dict[str, set] = {}
+        for decl in stages:
+            for artifact in sorted(set(decl.deps) | {a for a, _, _ in decl.reads}):
+                consumed_by.setdefault(artifact, set()).add(decl.name)
+        out: List[Finding] = []
+        for decl in stages:
+            consumers = consumed_by.get(decl.name, set()) - {decl.name}
+            if decl.terminal or consumers:
+                continue
+            out.append(
+                decl.module.finding(
+                    decl.node,
+                    self.id,
+                    f"stage {decl.name!r} produces an artifact no other "
+                    "stage consumes; mark it `terminal = True` if it is a "
+                    "pipeline output, otherwise it is dead weight in the DAG",
+                )
+            )
+        return out

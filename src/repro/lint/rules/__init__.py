@@ -9,8 +9,12 @@ from one or both hooks:
 * :meth:`Rule.check_project` — whole-program checks that need every
   module at once (R2's stage-purity reachability analysis).
 
-Importing this package loads the built-in rules R1–R5; external code
-can register additional rules before calling the engine.
+Importing this package loads the built-in rules R1–R5 and the dataflow
+rules F1–F3; external code can register additional rules before calling
+the engine.  Every rule carries a ``category`` — ``"syntactic"`` for
+AST pattern checks, ``"dataflow"`` for the CFG/fixpoint analyses under
+:mod:`repro.lint.flow` — which the CLI uses to group ``--rules list``
+output and the benchmark uses to time the passes separately.
 """
 
 from __future__ import annotations
@@ -24,12 +28,17 @@ from ...errors import LintError
 from ..findings import Finding
 
 __all__ = [
+    "CATEGORIES",
     "ModuleInfo",
     "Rule",
     "register",
     "all_rules",
     "get_rules",
+    "rules_by_category",
 ]
+
+#: Valid rule categories, in display order.
+CATEGORIES = ("syntactic", "dataflow")
 
 
 @dataclass
@@ -71,8 +80,10 @@ class Rule:
 
     #: Short stable identifier used in findings, suppressions, baselines.
     id: str = ""
-    #: One-line description shown by ``repro lint --rules help`` and docs.
+    #: One-line description shown by ``repro lint --rules list`` and docs.
     summary: str = ""
+    #: Analysis family: "syntactic" (AST patterns) or "dataflow" (CFG).
+    category: str = "syntactic"
 
     def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
         """Findings derivable from one module in isolation."""
@@ -87,11 +98,21 @@ _REGISTRY: dict[str, Type[Rule]] = {}
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+    """Class decorator adding a rule to the global registry.
+
+    Rejects duplicate ids and unknown categories at registration time —
+    a colliding id would silently shadow an existing rule's findings,
+    suppressions and baseline entries.
+    """
     if not cls.id:
         raise LintError(f"rule {cls.__name__} has no id")
     if cls.id in _REGISTRY:
         raise LintError(f"duplicate rule id {cls.id!r}")
+    if cls.category not in CATEGORIES:
+        raise LintError(
+            f"rule {cls.id!r} has unknown category {cls.category!r} "
+            f"(have: {', '.join(CATEGORIES)})"
+        )
     _REGISTRY[cls.id] = cls
     return cls
 
@@ -102,15 +123,34 @@ def all_rules() -> list[Rule]:
 
 
 def get_rules(ids: Iterable[str]) -> list[Rule]:
-    """Fresh instances of the named rules; unknown ids raise."""
+    """Fresh instances of the named rules; unknown or repeated ids raise.
+
+    A repeated id would run the rule twice and double-report every
+    finding, so ``--rules R2,R2`` is a usage error, not a no-op.
+    """
     out = []
+    seen = set()
     for rule_id in ids:
         if rule_id not in _REGISTRY:
             known = ", ".join(sorted(_REGISTRY))
             raise LintError(f"unknown rule {rule_id!r} (have: {known})")
+        if rule_id in seen:
+            raise LintError(f"rule {rule_id!r} requested more than once")
+        seen.add(rule_id)
         out.append(_REGISTRY[rule_id]())
     return out
 
 
-# Built-in rules register themselves on import.
+def rules_by_category() -> dict[str, list[Rule]]:
+    """Fresh rule instances grouped by category, ids sorted within each."""
+    out: dict[str, list[Rule]] = {category: [] for category in CATEGORIES}
+    for rule in all_rules():
+        out[rule.category].append(rule)
+    return out
+
+
+# Built-in rules register themselves on import.  The dataflow rules live
+# under repro.lint.flow (they share the CFG/solver machinery) but hook
+# into the same registry.
 from . import api, determinism, exceptions, purity, rng  # noqa: E402,F401
+from ..flow import capture, shapeflow, stageflow  # noqa: E402,F401

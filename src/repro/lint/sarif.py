@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export for deshlint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the log format
+GitHub code scanning ingests: uploading one turns deshlint findings
+into inline PR annotations.  The writer emits a single-run log with
+
+* ``tool.driver`` carrying every rule that *ran* (id, category tag and
+  summary), not just the rules that fired — so a clean run still
+  documents its coverage;
+* one ``result`` per finding with the rule id, message, a
+  ``physicalLocation`` region (line/column) and the snippet;
+* ``partialFingerprints`` reusing :meth:`Finding.key` — the same
+  content-keyed identity the baseline uses — so code-scanning alert
+  tracking survives unrelated edits exactly like the baseline does.
+
+File URIs are emitted repo-relative with forward slashes whenever the
+linted path sits under the current working directory, which is what
+the upload action expects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePosixPath
+from typing import Optional, Sequence
+
+from .engine import LintReport
+from .rules import Rule
+
+__all__ = ["sarif_log", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_URI = "https://github.com/desh-repro/desh-repro"
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    """*path* as a forward-slash URI, relative to *root* when possible."""
+    p = Path(path)
+    if root is not None:
+        try:
+            p = p.resolve().relative_to(root.resolve())
+        except (ValueError, OSError):
+            pass
+    return str(PurePosixPath(*p.parts))
+
+
+def sarif_log(
+    report: LintReport,
+    rules: Sequence[Rule],
+    *,
+    root: Optional[Path] = None,
+) -> dict:
+    """The SARIF 2.1.0 structure for *report* (rules = what ran)."""
+    driver_rules = [
+        {
+            "id": rule.id,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"category": rule.category},
+        }
+        for rule in sorted(rules, key=lambda r: r.id)
+    ]
+    results = []
+    for finding in report.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(finding.path, root),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                                "snippet": {"text": finding.snippet},
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"deshlintKey/v1": finding.key()},
+            }
+        )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "deshlint",
+                        "informationUri": _TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str | Path,
+    report: LintReport,
+    rules: Sequence[Rule],
+    *,
+    root: Optional[Path] = None,
+) -> None:
+    """Serialize :func:`sarif_log` to *path* (UTF-8 JSON, one file)."""
+    log = sarif_log(report, rules, root=root)
+    Path(path).write_text(json.dumps(log, indent=1), encoding="utf-8")

@@ -58,6 +58,10 @@ class Stage(abc.ABC):
     #: Whether the raw input records feed this stage directly (source
     #: stages mix the data fingerprint into their cache key).
     consumes_source = False
+    #: Whether this stage's artifact is a pipeline *output* rather than
+    #: an intermediate.  Sinks set this so deshlint's F2 artifact-flow
+    #: analysis does not flag them as "produced but never consumed".
+    terminal = False
 
     @abc.abstractmethod
     def config_payload(self) -> object:

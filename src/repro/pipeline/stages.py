@@ -169,6 +169,7 @@ class Phase1Stage(Stage):
 
     name = "phase1"
     deps = ("parse", "embeddings")
+    terminal = True  # the phrase LSTM is served directly, no downstream stage
 
     def __init__(self, config: DeshConfig, *, enabled: bool = True) -> None:
         self.config = config
@@ -298,6 +299,7 @@ class ClassifierStage(Stage):
 
     name = "classifier"
     deps = ("parse", "chains")
+    terminal = True  # class profiles feed prediction, not another stage
 
     def config_payload(self) -> object:
         """Keyword-rule identity: bump when Table-7 rules change."""
@@ -332,7 +334,8 @@ class Phase3Stage(Stage):
     """Pin the phase-3 scoring parameters (no training)."""
 
     name = "phase3"
-    deps = ("phase2",)
+    deps = ("phase2",)  # fingerprint edge only: scoring tracks the regressor
+    terminal = True  # phase-3 scoring parameters are the pipeline output
 
     def __init__(self, config: DeshConfig) -> None:
         self.config = config

@@ -214,3 +214,72 @@ class TestCliLint:
         second = self._run(str(bad), cwd=tmp_path)
         assert second.returncode == 0
         assert "baselined" in second.stdout
+
+    def test_sarif_export(self, tmp_path):
+        bad = tmp_path / "offender.py"
+        bad.write_text('"""Doc."""\n\nimport random\n')
+        sarif_path = tmp_path / "out.sarif"
+
+        run = self._run(
+            str(bad), "--no-baseline", "--sarif", str(sarif_path), cwd=tmp_path
+        )
+        assert run.returncode == 1
+        log = json.loads(sarif_path.read_text())
+        assert log["version"] == "2.1.0"
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "deshlint"
+        rule_ids = {r["id"] for r in driver["rules"]}
+        assert {"R1", "F1", "F2", "F3"} <= rule_ids  # what ran, not what fired
+        results = log["runs"][0]["results"]
+        assert results[0]["ruleId"] == "R1"
+        assert results[0]["level"] == "error"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+        assert "deshlintKey/v1" in results[0]["partialFingerprints"]
+
+    def test_rules_listing_grouped_by_category(self, tmp_path):
+        run = self._run("--rules", cwd=tmp_path)
+        assert run.returncode == 0
+        out = run.stdout
+        assert out.index("syntactic:") < out.index("dataflow:")
+        for rule_id in ("R1", "R5", "F1", "F3"):
+            assert f"\n  {rule_id} " in out
+        # F-rules listed under the dataflow heading, not before it.
+        assert out.index("dataflow:") < out.index("\n  F1 ")
+
+
+# ----------------------------------------------------------------------
+# Registry invariants: ids, categories, duplicate rejection
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_duplicate_rule_id_rejected_at_registration(self):
+        from repro.lint.rules import Rule, register
+
+        with pytest.raises(LintError, match="duplicate rule id"):
+            @register
+            class Clone(Rule):  # noqa: F811 - the point of the test
+                id = "R1"
+                summary = "imposter"
+
+    def test_unknown_category_rejected_at_registration(self):
+        from repro.lint.rules import Rule, register
+
+        with pytest.raises(LintError, match="unknown category"):
+            @register
+            class Miscategorized(Rule):
+                id = "X1"
+                summary = "bad category"
+                category = "vibes"
+
+    def test_get_rules_rejects_repeated_ids(self):
+        with pytest.raises(LintError, match="more than once"):
+            get_rules(["R1", "R1"])
+
+    def test_rules_by_category_covers_every_rule(self):
+        from repro.lint import all_rules, rules_by_category
+
+        grouped = rules_by_category()
+        assert list(grouped) == ["syntactic", "dataflow"]
+        flattened = {r.id for rules in grouped.values() for r in rules}
+        assert flattened == {r.id for r in all_rules()}
+        assert {r.id for r in grouped["dataflow"]} == {"F1", "F2", "F3"}

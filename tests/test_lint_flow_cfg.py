@@ -1,0 +1,196 @@
+"""Golden-CFG tests for the dataflow engine's CFG builder + solver.
+
+The CFG builder assigns block ids in construction order, so
+``CFG.describe()`` is deterministic and the expected graphs can be
+compared verbatim.  The solver tests pin the termination guarantees:
+a loop-carried shape reaches a fixpoint (joins only move up the
+lattice) and the hard pass budget bounds a pathological domain.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.solver import Domain, solve
+
+
+def _cfg(src: str):
+    func = ast.parse(textwrap.dedent(src)).body[0]
+    return build_cfg(func)
+
+
+def _describe(src: str) -> str:
+    return _cfg(src).describe()
+
+
+def test_try_except_finally_golden():
+    got = _describe(
+        """
+        def f(x):
+            try:
+                y = x + 1
+                z = risky(y)
+            except ValueError:
+                z = 0
+            except KeyError:
+                z = 1
+            finally:
+                log(z)
+            return z
+        """
+    )
+    assert got == (
+        "b0[Try] -> b4\n"
+        "b1[-] (exit) -> -\n"
+        "b2[Assign] -> b5\n"
+        "b3[Assign] -> b5\n"
+        "b4[Assign,Assign] -> b2,b3,b5\n"  # body may raise into either handler
+        "b5[Expr] -> b6\n"  # finally joins body + both handlers
+        "b6[Return] -> b1"
+    )
+
+
+def test_while_else_golden():
+    got = _describe(
+        """
+        def f(n):
+            i = 0
+            while i < n:
+                if stop(i):
+                    break
+                i += 1
+            else:
+                mark(n)
+            return i
+        """
+    )
+    assert got == (
+        "b0[Assign] -> b2\n"
+        "b1[-] (exit) -> -\n"
+        "b2[While] -> b4,b7\n"  # head -> body, else (exhaustion path)
+        "b3[Return] -> b1\n"
+        "b4[If] -> b5,b6\n"
+        "b5[Break] -> b3\n"  # break skips the else clause
+        "b6[AugAssign] -> b2\n"  # back edge
+        "b7[Expr] -> b3"
+    )
+
+
+def test_nested_comprehensions_never_split_blocks():
+    got = _describe(
+        """
+        def f(rows):
+            flat = [cell for row in rows for cell in row if cell]
+            table = {k: [v * 2 for v in vals] for k, vals in rows}
+            return flat, table
+        """
+    )
+    assert got == (
+        "b0[Assign,Assign,Return] -> b1\n"
+        "b1[-] (exit) -> -"
+    )
+
+
+def test_with_block_sequenced_linearly():
+    got = _describe(
+        """
+        def f(path):
+            with open(path) as fh:
+                data = fh.read()
+            return data
+        """
+    )
+    assert got == (
+        "b0[With,Assign,Return] -> b1\n"
+        "b1[-] (exit) -> -"
+    )
+
+
+def test_rpo_starts_at_entry_and_covers_reachable_blocks():
+    cfg = _cfg(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    assert set(order) == {b.id for b in cfg.blocks}
+
+
+class _ShapeishDomain(Domain):
+    """Tiny shape lattice: var -> tuple of dims, ints widening to None."""
+
+    def initial(self):
+        return {}
+
+    def join(self, a, b):
+        out = {}
+        for name in a.keys() & b.keys():
+            sa, sb = a[name], b[name]
+            if len(sa) == len(sb):
+                out[name] = tuple(
+                    x if x == y else None for x, y in zip(sa, sb)
+                )
+        return out
+
+    def transfer(self, block, state):
+        env = dict(state)
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.targets[0], ast.Name
+            ):
+                # f(x) "rotates" the shape: loop-carried dependence.
+                name = stmt.targets[0].id
+                prior = env.get(name, (4, 8))
+                env[name] = tuple(reversed(prior))
+        return env
+
+
+def test_fixpoint_terminates_on_loop_carried_shape():
+    cfg = _cfg(
+        """
+        def f(flag):
+            x = rotate(x)
+            while flag:
+                x = rotate(x)
+            return x
+        """
+    )
+    result = solve(cfg, _ShapeishDomain())
+    assert result.converged
+    # The loop-carried rotation alternates (4, 8)/(8, 4); the join must
+    # widen both dims to unknown instead of oscillating forever.
+    loop_head = next(b.id for b in cfg.blocks if b.stmts
+                     and isinstance(b.stmts[0], ast.While))
+    assert result.in_states[loop_head]["x"] == (None, None)
+    assert result.passes <= 64 * len(cfg.blocks)
+
+
+class _UnboundedDomain(Domain):
+    """Deliberately infinite-height domain: a counter that keeps rising."""
+
+    def initial(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, block, state):
+        return state + 1
+
+
+def test_pass_budget_stops_non_converging_domain():
+    cfg = _cfg(
+        """
+        def f(flag):
+            while flag:
+                flag = step(flag)
+            return flag
+        """
+    )
+    result = solve(cfg, _UnboundedDomain(), max_passes_per_block=8)
+    assert not result.converged
+    assert result.passes == 8 * len(cfg.rpo())

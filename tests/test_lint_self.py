@@ -1,14 +1,16 @@
 """Tier-1 self-lint gate: the repo's own source must pass deshlint.
 
-This is the same check CI runs via ``repro lint``: every rule (R1-R5)
-over the installed ``repro`` package, with the checked-in baseline
-applied.  Any new finding turns the suite red.
+This is the same check CI runs via ``repro lint``: every rule (the
+syntactic R1-R5 plus the dataflow F1-F3) over the installed ``repro``
+package, with the checked-in baseline applied.  Any new finding turns
+the suite red.
 """
 
+import json
 from pathlib import Path
 
 import repro
-from repro.lint import Baseline, lint_paths
+from repro.lint import Baseline, get_rules, lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
@@ -37,3 +39,19 @@ def test_baseline_carries_no_stale_entries():
         "lint-baseline.json has entries no finding consumes; regenerate it "
         "with `repro lint --update-baseline`"
     )
+
+
+def test_dataflow_rules_clean_with_empty_baseline():
+    """F1-F3 hold over the tree without any grandfathered debt.
+
+    The dataflow analyses were introduced with a clean slate: the
+    checked-in baseline must stay empty, and running only F1-F3 (no
+    baseline at all) must produce zero findings.  If an analysis change
+    starts flagging the repo, fix or ``allow[...]``-annotate the site —
+    don't grandfather it.
+    """
+    entries = json.loads(BASELINE_PATH.read_text())["entries"]
+    assert entries == [], "lint-baseline.json must stay empty"
+    report = lint_paths([PACKAGE_DIR], rules=get_rules(["F1", "F2", "F3"]))
+    rendered = "\n".join(f.render() for f in report.findings)
+    assert not report.findings, f"dataflow rules flag the repo:\n{rendered}"

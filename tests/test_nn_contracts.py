@@ -170,3 +170,39 @@ def test_contracts_compiled_out_under_dash_O():
     )
     assert result.returncode == 0, result.stderr
     assert "OK" in result.stdout
+
+
+def test_declared_contracts_exposes_specs_statically():
+    from repro.nn.contracts import declared_contracts
+    from repro.nn.layers import Dense, Embedding
+    from repro.nn.lstm import LSTMCell, StackedLSTM
+
+    dense = declared_contracts(Dense)
+    assert dense["forward"] == "(..., in_dim):float -> (..., out_dim):float"
+    for cls in (Embedding, LSTMCell, StackedLSTM):
+        specs = declared_contracts(cls)
+        assert "forward" in specs and "backward" in specs
+
+
+def test_declared_contracts_survive_dash_O():
+    """The spec registry backs declared_contracts when wrappers compile out."""
+    src_dir = Path(repro.__file__).resolve().parents[1]
+    probe = textwrap.dedent(
+        """
+        from repro.nn.contracts import declared_contracts
+        from repro.nn.layers import Dense
+
+        specs = declared_contracts(Dense)
+        assert specs["forward"] == "(..., in_dim):float -> (..., out_dim):float", specs
+        assert not hasattr(Dense.forward, "__tensor_contract__")
+        print("OK")
+        """
+    )
+    result = subprocess.run(
+        [sys.executable, "-O", "-c", probe],
+        env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
