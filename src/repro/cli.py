@@ -24,6 +24,15 @@ Commands
     Train once, then score the test split clean *and* after seeded fault
     injection + hardened re-ingest; prints the recall/FP-rate deltas and
     the full fault/quarantine accounting.  Also honors ``--cache-dir``.
+``trace``
+    Run any other subcommand under an enabled tracer: print the nested
+    span tree with real durations, the phase-3 per-prediction latency
+    summary (the paper's Fig. 10 reports ~0.65 ms), and optionally
+    export spans as JSON lines / metrics as JSON.
+``metrics``
+    Run any other subcommand with an active metrics registry and print
+    (or write) the counter/gauge/histogram snapshot as JSON or
+    Prometheus text.
 ``lint``
     Run the deshlint static-analysis gate — syntactic rules R1-R5 plus
     the dataflow analyses F1-F3 (shape flow, stage artifact flow,
@@ -42,6 +51,9 @@ Examples
     python -m repro predict --log m3.log.gz --model-dir model/
     python -m repro evaluate --system M4 --seed 9
     python -m repro chaos --system M1 --profile moderate --chaos-seed 3
+    python -m repro trace predict --log m3.log.gz --model-dir model/
+    python -m repro metrics --format prom train --log m3.log.gz \
+        --model-dir model/
 """
 
 from __future__ import annotations
@@ -56,7 +68,7 @@ from .analysis import lead_time_overall
 from .config import DeshConfig
 from .core import Desh, DeshModel, Phase3Predictor
 from .core.deltas import LeadTimeScaler
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .io import chronological_split, read_records, save_ground_truth, write_log
 from .nn.model import SequenceRegressor
 from .parsing import LogParser, PhraseVocabulary
@@ -75,6 +87,8 @@ __all__ = [
     "cmd_report",
     "cmd_chaos",
     "cmd_lint",
+    "cmd_trace",
+    "cmd_metrics",
 ]
 
 
@@ -166,6 +180,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="grandfather all current findings into the baseline file",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="run another subcommand under the tracer"
+    )
+    tr.add_argument(
+        "--trace-out", help="also write the spans as JSON lines"
+    )
+    tr.add_argument(
+        "--metrics-out", help="also write the metrics snapshot as JSON"
+    )
+    tr.add_argument(
+        "wrapped",
+        nargs=argparse.REMAINDER,
+        help="subcommand (plus its arguments) to run traced",
+    )
+
+    mx = sub.add_parser(
+        "metrics", help="run another subcommand and report its metrics"
+    )
+    mx.add_argument(
+        "--out", help="write the snapshot to this file instead of stdout"
+    )
+    mx.add_argument(
+        "--format",
+        choices=["json", "prom"],
+        default="json",
+        help="snapshot format: JSON (default) or Prometheus text",
+    )
+    mx.add_argument(
+        "wrapped",
+        nargs=argparse.REMAINDER,
+        help="subcommand (plus its arguments) to run measured",
     )
 
     c = sub.add_parser("chaos", help="measure degradation under injected faults")
@@ -286,9 +333,12 @@ def _write_pipeline_manifest(
 
 def cmd_train(args: argparse.Namespace) -> int:
     """``repro train``: fit Desh through the staged pipeline and persist."""
+    from .obs import current_tracer
     from .pipeline import DeshPipeline, assemble_model
 
-    records = list(read_records(args.log))
+    with current_tracer().span("ingest.read", path=str(args.log)) as span:
+        records = list(read_records(args.log))
+        span.set(records=len(records))
     if not 0.0 < args.fraction <= 1.0:
         raise ReproError(f"--fraction must be in (0, 1], got {args.fraction}")
     if args.fraction < 1.0:
@@ -327,7 +377,11 @@ def cmd_predict(args: argparse.Namespace) -> int:
     except SerializationError:
         # Legacy (format-1) model directory: regressor + vocab only.
         parser, predictor = load_predictor(args.model_dir, config)
-    records = list(read_records(args.log))
+    from .obs import current_tracer
+
+    with current_tracer().span("ingest.read", path=str(args.log)) as span:
+        records = list(read_records(args.log))
+        span.set(records=len(records))
     parsed = parser.transform(records)
     sequences = [s for s in parsed.by_node().values() if s.node is not None]
     verdicts = predictor.predict_sequences(sequences)
@@ -561,6 +615,131 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# observability wrappers
+# ----------------------------------------------------------------------
+def _wrapped_command(
+    wrapped: Sequence[str], outer: str
+) -> tuple[str, argparse.Namespace]:
+    """Validate and parse the subcommand wrapped by trace/metrics."""
+    wrapped = list(wrapped)
+    if wrapped and wrapped[0] == "--":
+        wrapped = wrapped[1:]
+    if not wrapped:
+        raise ConfigError(
+            f"repro {outer} needs a subcommand to run, "
+            f"e.g. `repro {outer} train --log sys.log --model-dir model/`"
+        )
+    name = wrapped[0]
+    if name in ("trace", "metrics"):
+        raise ConfigError(
+            f"unknown subcommand for repro {outer}: {name!r} "
+            "(observability commands cannot nest)"
+        )
+    if name not in _COMMANDS:
+        known = ", ".join(
+            sorted(n for n in _COMMANDS if n not in ("trace", "metrics"))
+        )
+        raise ConfigError(
+            f"unknown subcommand for repro {outer}: {name!r} (have: {known})"
+        )
+    return name, build_parser().parse_args(wrapped)
+
+
+def _export_path(value: "str | None", flag: str) -> "Path | None":
+    """Resolve one export flag; reject paths that cannot hold a file."""
+    if value is None:
+        return None
+    path = Path(value)
+    if path.is_dir():
+        raise ConfigError(f"{flag} path {path} is an existing directory")
+    if path.parent != Path("") and not path.parent.is_dir():
+        raise ConfigError(f"{flag} parent directory {path.parent} does not exist")
+    return path
+
+
+def _print_latency_summary(registry) -> None:
+    """Print the phase-3 per-prediction latency beside the paper's claim."""
+    hist = registry.get("phase3.prediction_ms")
+    if hist is None or hist.count == 0:
+        return
+    print(
+        "phase3.prediction_ms: "
+        f"p50 {hist.quantile(0.5):.3f} ms, "
+        f"p95 {hist.quantile(0.95):.3f} ms, "
+        f"p99 {hist.quantile(0.99):.3f} ms "
+        f"over {hist.count} predictions "
+        "(paper Fig. 10: ~0.65 ms per prediction)"
+    )
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run a subcommand under an enabled tracer.
+
+    Prints the nested span tree with real durations and the phase-3
+    latency summary; ``--trace-out`` additionally exports the spans as
+    JSON lines and ``--metrics-out`` the metrics snapshot as JSON.
+    """
+    from .obs import MetricsRegistry, Tracer, activate_metrics, activate_tracer
+
+    name, wrapped = _wrapped_command(args.wrapped, "trace")
+    trace_out = _export_path(args.trace_out, "--trace-out")
+    metrics_out = _export_path(args.metrics_out, "--metrics-out")
+    if (
+        trace_out is not None
+        and metrics_out is not None
+        and trace_out.resolve() == metrics_out.resolve()
+    ):
+        raise ConfigError(
+            f"--trace-out and --metrics-out collide on {trace_out}"
+        )
+    tracer = Tracer()
+    registry = MetricsRegistry(active=True)
+    with activate_tracer(tracer), activate_metrics(registry):
+        with tracer.span(f"repro.{name}"):
+            code = _COMMANDS[name](wrapped)
+    tree = tracer.describe(mask_durations=False)
+    if tree:
+        print(tree)
+    _print_latency_summary(registry)
+    if trace_out is not None:
+        count = tracer.export_jsonl(trace_out)
+        print(f"wrote {count} spans to {trace_out}", file=sys.stderr)
+    if metrics_out is not None:
+        metrics_out.write_text(registry.to_json())
+        print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
+    return code
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: run a subcommand and report its metrics.
+
+    The wrapped command runs with an *active* registry (which also turns
+    on the timed instrumentation, e.g. the phase-3 latency histogram);
+    the snapshot is printed as JSON or Prometheus text, or written to
+    ``--out``.
+    """
+    from .obs import MetricsRegistry, activate_metrics
+
+    name, wrapped = _wrapped_command(args.wrapped, "metrics")
+    out = _export_path(args.out, "--out")
+    registry = MetricsRegistry(active=True)
+    with activate_metrics(registry):
+        code = _COMMANDS[name](wrapped)
+    text = (
+        registry.to_json()
+        if args.format == "json"
+        else registry.to_prometheus()
+    )
+    if out is not None:
+        out.write_text(text)
+        print(f"wrote metrics snapshot to {out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    _print_latency_summary(registry)
+    return code
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
@@ -570,6 +749,8 @@ _COMMANDS = {
     "report": cmd_report,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 

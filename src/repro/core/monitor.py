@@ -35,6 +35,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..errors import ConfigError, PredictionError
 from ..events import Label, ParsedEvent
+from ..obs import metrics_registry
 from ..simlog.record import LogRecord
 from ..topology.cray import CrayNodeId
 from .alerts import FailureWarning
@@ -135,6 +136,7 @@ class StreamingMonitor:
         serving every other node.
         """
         self.records_seen += 1
+        metrics_registry().counter("monitor.records").inc()
         event = self.model.parser.encode(record)
         if event is None or event.node is None or event.label == Label.SAFE:
             return None
@@ -151,6 +153,7 @@ class StreamingMonitor:
             warning = self._maybe_alert(event, buf)
         except PredictionError:
             self.degraded_skips += 1
+            metrics_registry().counter("monitor.degraded_skips").inc()
             warning = None
         if event.terminal:
             # Close terminal episodes eagerly: the node went down, so
@@ -184,6 +187,7 @@ class StreamingMonitor:
             return None
         self._alerted.add(event.node)
         self.warnings_raised += 1
+        metrics_registry().counter("monitor.warnings").inc()
         likely = None
         if self.model.classifier is not None:
             from .chains import Episode

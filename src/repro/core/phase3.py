@@ -25,6 +25,7 @@ the identical model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from ..config import Phase3Config
 from ..errors import PredictionError
+from ..obs import current_tracer, metrics_registry, obs_enabled
 from ..events import EventSequence, ParsedEvent
 from ..nn.data import sliding_windows_continuous
 from ..nn.model import SequenceRegressor
@@ -125,19 +127,43 @@ class Phase3Predictor:
         the episode to be flagged; the decision point is the first match.
         The earliest flag across all suffixes wins (longest lead time).
         """
+        if obs_enabled():
+            start = time.perf_counter()
+            verdict, windows = self._score_episode(episode)
+            if windows:
+                metrics_registry().histogram("phase3.prediction_ms").observe(
+                    (time.perf_counter() - start) * 1e3 / windows
+                )
+        else:
+            verdict, _ = self._score_episode(episode)
+        registry = metrics_registry()
+        registry.counter("phase3.episodes").inc()
+        if verdict.flagged:
+            registry.counter("phase3.flags").inc()
+        return verdict
+
+    def _score_episode(
+        self, episode: Episode
+    ) -> tuple[EpisodeVerdict, int]:
+        """The scoring body; returns the verdict and the windows scored."""
         cfg = self.config
         if len(episode) < cfg.min_chain_events:
-            return EpisodeVerdict(episode=episode, flagged=False, mse=float("inf"))
+            verdict = EpisodeVerdict(
+                episode=episode, flagged=False, mse=float("inf")
+            )
+            return verdict, 0
         all_ts = episode.timestamps()
         all_ids = episode.phrase_ids()
         end_time = episode.end_time
         best_mse = float("inf")
         best_flag: EpisodeVerdict | None = None
+        windows_scored = 0
         max_skip = min(cfg.max_suffix_skip, len(episode) - cfg.min_chain_events)
         for skip in range(0, max_skip + 1):
             timestamps = all_ts[skip:]
             x, y, pad_len = self._episode_windows(timestamps, all_ids[skip:])
             mses = self.scaler.mse_paper_units(self.regressor.predict(x), y)
+            windows_scored += len(mses)
             if len(mses):
                 best_mse = min(best_mse, float(np.min(mses)))
             passing: list[tuple[int, float]] = []
@@ -166,21 +192,31 @@ class Phase3Predictor:
                 ):
                     best_flag = candidate
         if best_flag is not None:
-            return best_flag
-        return EpisodeVerdict(episode=episode, flagged=False, mse=best_mse)
+            return best_flag, windows_scored
+        verdict = EpisodeVerdict(episode=episode, flagged=False, mse=best_mse)
+        return verdict, windows_scored
 
     def predict_sequences(
         self, sequences: Sequence[EventSequence]
     ) -> list[EpisodeVerdict]:
         """Segment every node stream into episodes and score them all."""
-        verdicts: list[EpisodeVerdict] = []
-        for seq in sequences:
-            if seq.node is None:
-                continue
-            for episode in segment_episodes(
-                seq, gap=self.episode_gap, min_events=self.config.min_chain_events
-            ):
-                verdicts.append(self.score_episode(episode))
+        with current_tracer().span(
+            "phase3.predict_sequences", sequences=len(sequences)
+        ) as span:
+            verdicts: list[EpisodeVerdict] = []
+            for seq in sequences:
+                if seq.node is None:
+                    continue
+                for episode in segment_episodes(
+                    seq,
+                    gap=self.episode_gap,
+                    min_events=self.config.min_chain_events,
+                ):
+                    verdicts.append(self.score_episode(episode))
+            span.set(
+                episodes=len(verdicts),
+                flagged=sum(1 for v in verdicts if v.flagged),
+            )
         return verdicts
 
     def predictions(
@@ -215,6 +251,8 @@ class Phase3Predictor:
         cfg = self.config
         if len(events) < max(2, cfg.min_chain_events):
             return False, float("inf"), 0.0
+        timed = obs_enabled()
+        start = time.perf_counter() if timed else 0.0
         timestamps = np.array([e.timestamp for e in events], dtype=np.float64)
         phrase_ids = np.array([e.phrase_id for e in events], dtype=np.int64)
         x, y, _ = self._episode_windows(timestamps, phrase_ids)
@@ -222,4 +260,8 @@ class Phase3Predictor:
         best = float(np.min(mses))
         pred = self.regressor.predict(x[-1:])  # next-sample forecast
         lead = float(self.scaler.decode_lead_seconds(pred[0, 0]))
+        if timed and len(x):
+            metrics_registry().histogram("phase3.prediction_ms").observe(
+                (time.perf_counter() - start) * 1e3 / (len(x) + 1)
+            )
         return best <= cfg.mse_threshold, best, lead

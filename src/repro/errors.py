@@ -31,6 +31,7 @@ __all__ = [
     "ArtifactError",
     "ContractError",
     "LintError",
+    "ObservabilityError",
 ]
 
 
@@ -128,3 +129,7 @@ class ContractError(ShapeError):
 
 class LintError(ReproError, RuntimeError):
     """deshlint was invoked incorrectly or hit an unreadable input."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """The tracing/metrics layer was misused (type clash, bad merge, ...)."""

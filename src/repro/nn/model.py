@@ -13,12 +13,14 @@ round-tripping.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..errors import NotFittedError, SerializationError, ShapeError, TrainingError
+from ..obs import current_tracer, metrics_registry
 from .data import batch_iterator
 from .layers import Dense, Embedding
 from .losses import CategoricalCrossEntropy, MeanSquaredError
@@ -34,6 +36,20 @@ def _merge_params(*sources: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
         for name, arr in mapping.items():
             out[f"m{prefix}.{name}"] = arr
     return out
+
+
+def _observe_epoch(
+    prefix: str, epoch: int, loss: float, elapsed_ms: float
+) -> None:
+    """Record one completed training epoch into the metrics registry.
+
+    Per-epoch granularity keeps this cheap enough to run unconditionally
+    (a handful of dict lookups per epoch, not per batch).
+    """
+    registry = metrics_registry()
+    registry.gauge(f"{prefix}.epoch").set(float(epoch))
+    registry.gauge(f"{prefix}.epoch_loss").set(float(loss))
+    registry.histogram(f"{prefix}.epoch_ms").observe(elapsed_ms)
 
 
 def _resume_fit(model, checkpoint, opt, rng) -> int:
@@ -188,29 +204,41 @@ class SequenceClassifier:
         start_epoch = 0
         if checkpoint is not None:
             start_epoch = _resume_fit(self, checkpoint, opt, rng)
-        for epoch in range(start_epoch, epochs):
-            epoch_loss = 0.0
-            batches = 0
-            for idx in batch_iterator(len(x), batch_size, rng):
-                self._zero_grad()
-                logits = self.forward(x[idx])
-                loss = 0.0
-                dlogits = []
-                for k in range(self.steps):
-                    loss += self.loss_fn.loss(logits[k], y[idx, k])
-                    dlogits.append(self.loss_fn.grad(logits[k], y[idx, k]))
-                loss /= self.steps
-                for dl in dlogits:
-                    dl /= self.steps
-                self._backward(dlogits)
-                grads = self.grads()
-                clip_gradients(grads, grad_clip)
-                opt.step(self.params(), grads)
-                epoch_loss += loss
-                batches += 1
-            self.history.append(epoch_loss / max(batches, 1))
-            if checkpoint is not None:
-                _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
+        with current_tracer().span(
+            "nn.classifier.fit", windows=len(x), epochs=epochs
+        ) as fit_span:
+            for epoch in range(start_epoch, epochs):
+                tick = time.perf_counter()
+                epoch_loss = 0.0
+                batches = 0
+                for idx in batch_iterator(len(x), batch_size, rng):
+                    self._zero_grad()
+                    logits = self.forward(x[idx])
+                    loss = 0.0
+                    dlogits = []
+                    for k in range(self.steps):
+                        loss += self.loss_fn.loss(logits[k], y[idx, k])
+                        dlogits.append(self.loss_fn.grad(logits[k], y[idx, k]))
+                    loss /= self.steps
+                    for dl in dlogits:
+                        dl /= self.steps
+                    self._backward(dlogits)
+                    grads = self.grads()
+                    clip_gradients(grads, grad_clip)
+                    opt.step(self.params(), grads)
+                    epoch_loss += loss
+                    batches += 1
+                self.history.append(epoch_loss / max(batches, 1))
+                _observe_epoch(
+                    "nn.classifier",
+                    epoch,
+                    self.history[-1],
+                    (time.perf_counter() - tick) * 1e3,
+                )
+                if checkpoint is not None:
+                    _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
+            if self.history:
+                fit_span.set(final_loss=self.history[-1])
         self._fitted = True
         return self.history
 
@@ -411,22 +439,34 @@ class SequenceRegressor:
         start_epoch = 0
         if checkpoint is not None:
             start_epoch = _resume_fit(self, checkpoint, opt, rng)
-        for epoch in range(start_epoch, epochs):
-            epoch_loss = 0.0
-            batches = 0
-            for idx in batch_iterator(len(x), batch_size, rng):
-                self._zero_grad()
-                pred = self.forward(x[idx])
-                loss = self.loss_fn.loss(pred, y[idx])
-                self._backward(self.loss_fn.grad(pred, y[idx]))
-                grads = self.grads()
-                clip_gradients(grads, grad_clip)
-                opt.step(self.params(), grads)
-                epoch_loss += loss
-                batches += 1
-            self.history.append(epoch_loss / max(batches, 1))
-            if checkpoint is not None:
-                _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
+        with current_tracer().span(
+            "nn.regressor.fit", windows=len(x), epochs=epochs
+        ) as fit_span:
+            for epoch in range(start_epoch, epochs):
+                tick = time.perf_counter()
+                epoch_loss = 0.0
+                batches = 0
+                for idx in batch_iterator(len(x), batch_size, rng):
+                    self._zero_grad()
+                    pred = self.forward(x[idx])
+                    loss = self.loss_fn.loss(pred, y[idx])
+                    self._backward(self.loss_fn.grad(pred, y[idx]))
+                    grads = self.grads()
+                    clip_gradients(grads, grad_clip)
+                    opt.step(self.params(), grads)
+                    epoch_loss += loss
+                    batches += 1
+                self.history.append(epoch_loss / max(batches, 1))
+                _observe_epoch(
+                    "nn.regressor",
+                    epoch,
+                    self.history[-1],
+                    (time.perf_counter() - tick) * 1e3,
+                )
+                if checkpoint is not None:
+                    _checkpoint_fit(self, checkpoint, opt, rng, epoch + 1)
+            if self.history:
+                fit_span.set(final_loss=self.history[-1])
         self._fitted = True
         return self.history
 

@@ -15,6 +15,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from ..errors import ConfigError, TrainingError
+from ..obs import current_tracer, metrics_registry
 from .optimizers import _OptimizerBase
 
 __all__ = ["EarlyStoppingConfig", "TrainingHistory", "fit_with_validation"]
@@ -152,47 +153,61 @@ def fit_with_validation(
             bad_epochs = int(meta.get("bad_epochs", 0))
             if history.stopped_early:
                 return history
-    for epoch in range(start_epoch, cfg.max_epochs):
-        losses = model.fit(
-            x_train,
-            y_train,
-            epochs=1,
-            batch_size=batch_size,
-            optimizer=optimizer,
-            grad_clip=grad_clip,
-            rng=np.random.default_rng(seed + 1 + epoch),
-        )
-        history.train_losses.append(losses[-1])
-        val = float(val_loss_fn(model, x_val, y_val))
-        history.val_losses.append(val)
-        if val < best - cfg.min_delta:
-            best = val
-            bad_epochs = 0
-            history.best_epoch = epoch
-        else:
-            bad_epochs += 1
-            if cfg.lr_decay < 1.0 and bad_epochs == max(1, cfg.patience // 2):
-                optimizer.learning_rate *= cfg.lr_decay
-            if bad_epochs >= cfg.patience:
-                history.stopped_early = True
-        if checkpoint is not None:
-            from ..resilience.checkpoint import pack_fit_state
-
-            arrays, meta = pack_fit_state(
-                model.params(),
-                optimizer,
-                None,
-                epoch=epoch + 1,
-                extra_meta={
-                    "train_losses": history.train_losses,
-                    "val_losses": history.val_losses,
-                    "best_epoch": history.best_epoch,
-                    "stopped_early": history.stopped_early,
-                    "best": best,
-                    "bad_epochs": bad_epochs,
-                },
+    registry = metrics_registry()
+    with current_tracer().span(
+        "nn.fit_with_validation",
+        train_windows=len(x_train),
+        val_windows=len(x_val),
+    ) as span:
+        for epoch in range(start_epoch, cfg.max_epochs):
+            losses = model.fit(
+                x_train,
+                y_train,
+                epochs=1,
+                batch_size=batch_size,
+                optimizer=optimizer,
+                grad_clip=grad_clip,
+                rng=np.random.default_rng(seed + 1 + epoch),
             )
-            checkpoint.save(epoch + 1, arrays, meta)
-        if history.stopped_early:
-            break
+            history.train_losses.append(losses[-1])
+            val = float(val_loss_fn(model, x_val, y_val))
+            history.val_losses.append(val)
+            registry.gauge("trainer.train_loss").set(float(losses[-1]))
+            registry.gauge("trainer.val_loss").set(val)
+            if val < best - cfg.min_delta:
+                best = val
+                bad_epochs = 0
+                history.best_epoch = epoch
+            else:
+                bad_epochs += 1
+                if cfg.lr_decay < 1.0 and bad_epochs == max(
+                    1, cfg.patience // 2
+                ):
+                    optimizer.learning_rate *= cfg.lr_decay
+                if bad_epochs >= cfg.patience:
+                    history.stopped_early = True
+            if checkpoint is not None:
+                from ..resilience.checkpoint import pack_fit_state
+
+                arrays, meta = pack_fit_state(
+                    model.params(),
+                    optimizer,
+                    None,
+                    epoch=epoch + 1,
+                    extra_meta={
+                        "train_losses": history.train_losses,
+                        "val_losses": history.val_losses,
+                        "best_epoch": history.best_epoch,
+                        "stopped_early": history.stopped_early,
+                        "best": best,
+                        "bad_epochs": bad_epochs,
+                    },
+                )
+                checkpoint.save(epoch + 1, arrays, meta)
+            if history.stopped_early:
+                break
+        span.set(
+            epochs_run=history.epochs_run,
+            stopped_early=history.stopped_early,
+        )
     return history

@@ -1,0 +1,323 @@
+"""Structured tracing: nested spans over a monotonic clock.
+
+A :class:`Span` is one named, timed unit of work; spans nest through a
+per-thread stack, so instrumented code only ever says ``with
+tracer.span("parse.transform")`` and the parent/child edges fall out of
+dynamic scope.  The :class:`Tracer` records every span in creation
+order under a lock (worker threads trace safely; their spans parent to
+whatever was active on *their* stack), exports JSON lines for offline
+tooling, and renders a deterministic :meth:`Tracer.describe` tree —
+with durations masked it is byte-stable across runs, which is what the
+golden-trace test pins.
+
+The process-wide default is :class:`NullTracer`: ``span()`` returns a
+shared no-op handle, so instrumentation left in hot paths costs one
+call and no allocation beyond its keyword dict.  ``repro trace <cmd>``
+(and tests) install a recording :class:`Tracer` via :func:`set_tracer`
+/ :func:`activate_tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "Tracer",
+    "NullTracer",
+    "current_tracer",
+    "set_tracer",
+    "activate_tracer",
+]
+
+
+def _fmt_value(value: object) -> str:
+    """Stable, compact rendering of one attribute value."""
+    if isinstance(value, float):
+        return format(value, ".6g")
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One named, timed unit of work in a trace tree.
+
+    ``start`` is a :func:`time.perf_counter` reading (process-relative,
+    monotonic); ``duration`` stays NaN until the span finishes.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: float = float("nan")
+    attributes: dict = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has exited (duration recorded)."""
+        return self.duration == self.duration  # NaN != NaN
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (one line of the JSONL export)."""
+        out: dict = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration if self.finished else None,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def describe_line(self, *, mask_duration: bool = True) -> str:
+        """One deterministic text line: name, sorted attrs, error, time."""
+        parts = [self.name]
+        for key in sorted(self.attributes):
+            parts.append(f"{key}={_fmt_value(self.attributes[key])}")
+        if self.error is not None:
+            parts.append(f"!{self.error}")
+        if not mask_duration and self.finished:
+            parts.append(f"({self.duration * 1e3:.3f}ms)")
+        return " ".join(parts)
+
+
+class SpanHandle:
+    """Context manager that finishes its :class:`Span` on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attributes: object) -> "SpanHandle":
+        """Attach (or overwrite) span attributes; chains fluently."""
+        self.span.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self.span, exc_type)
+        return False
+
+
+class _NullHandle:
+    """Shared no-op span handle returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> "_NullHandle":
+        """Ignore attributes; chains fluently like the real handle."""
+        return self
+
+    def __enter__(self) -> "_NullHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Disabled tracer: spans cost one call and record nothing."""
+
+    #: Gate for expensive instrumentation (timing, attribute building).
+    enabled = False
+
+    def span(self, name: str, **attributes: object) -> _NullHandle:
+        """Return the shared no-op handle (nothing is recorded)."""
+        return _NULL_HANDLE
+
+    def spans(self) -> list:
+        """Always empty: a NullTracer records nothing."""
+        return []
+
+    def clear(self) -> None:
+        """No-op (nothing is ever recorded)."""
+
+    def describe(self, *, mask_durations: bool = True) -> str:
+        """Always the empty string (nothing to render)."""
+        return ""
+
+    def export_jsonl(self, path: "str | Path") -> int:
+        """Refuse: exporting a disabled trace is a caller bug."""
+        raise ObservabilityError(
+            "tracing is disabled (NullTracer); install a Tracer via "
+            "repro.obs.set_tracer before exporting spans"
+        )
+
+
+class Tracer:
+    """Thread-safe in-process span recorder with deterministic ids.
+
+    Span ids are sequential creation-order integers, so a
+    single-threaded run produces an identical id assignment every time
+    — the property the golden-trace test relies on.
+    """
+
+    #: Gate for expensive instrumentation (timing, attribute building).
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: object) -> SpanHandle:
+        """Open a span as a child of this thread's active span.
+
+        Use as a context manager; the span's duration is measured from
+        entry of this call to ``__exit__``.  A thread with no active
+        span starts a new root.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent,
+                start=time.perf_counter(),
+                attributes=dict(attributes),
+            )
+            self._spans.append(span)
+        stack.append(span)
+        return SpanHandle(self, span)
+
+    def _finish(self, span: Span, exc_type) -> None:
+        span.duration = time.perf_counter() - span.start
+        if exc_type is not None:
+            span.error = exc_type.__name__
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            # Out-of-order exit (e.g. a generator finalized late): drop
+            # the span from wherever it sits so nesting self-heals.
+            stack.remove(span)
+
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of all recorded spans in creation order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Forget every recorded span (ids keep advancing)."""
+        with self._lock:
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    def describe(self, *, mask_durations: bool = True) -> str:
+        """Deterministic tree rendering of the recorded spans.
+
+        Children are ordered by creation; with ``mask_durations=True``
+        (the default) the output is byte-stable for a deterministic
+        workload, so it can be pinned verbatim in golden tests.
+        """
+        spans = self.spans()
+        children: dict[Optional[int], list[Span]] = {}
+        for span in spans:
+            children.setdefault(span.parent_id, []).append(span)
+        lines: list[str] = []
+
+        def _render(span: Span, depth: int) -> None:
+            lines.append(
+                "  " * depth
+                + span.describe_line(mask_duration=mask_durations)
+            )
+            for child in children.get(span.span_id, ()):
+                _render(child, depth + 1)
+
+        for root in children.get(None, ()):
+            _render(root, 0)
+        return "\n".join(lines)
+
+    def export_jsonl(self, path: "str | Path") -> int:
+        """Write one JSON object per span; returns the span count."""
+        spans = self.spans()
+        payload = "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+        )
+        Path(path).write_text(payload)
+        return len(spans)
+
+
+# ----------------------------------------------------------------------
+# process-wide current tracer
+# ----------------------------------------------------------------------
+_STATE_LOCK = threading.Lock()
+_CURRENT: list = [NullTracer()]  # one-slot box so reads are a plain index
+
+
+def current_tracer():
+    """The process-wide tracer (a :class:`NullTracer` by default)."""
+    return _CURRENT[0]
+
+
+def set_tracer(tracer) -> object:
+    """Install *tracer* process-wide; returns the previous tracer."""
+    if not callable(getattr(tracer, "span", None)):
+        raise ObservabilityError(
+            f"set_tracer needs a Tracer/NullTracer-like object with a "
+            f"span() method, got {type(tracer).__name__}"
+        )
+    with _STATE_LOCK:
+        previous = _CURRENT[0]
+        _CURRENT[0] = tracer
+    return previous
+
+
+class activate_tracer:
+    """Context manager: install a tracer, restore the previous on exit.
+
+    ::
+
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            model.score(records)
+        print(tracer.describe())
+    """
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+        self._previous: object = None
+
+    def __enter__(self):
+        """Install the tracer and return it."""
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Restore whatever tracer was installed before."""
+        set_tracer(self._previous)
+        return False

@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..errors import NotFittedError
 from ..events import EventSequence, Label, ParsedEvent, group_by_node
+from ..obs import current_tracer, metrics_registry
 from ..simlog.record import LogRecord
 from ..topology.cray import CrayNodeId
 from .encoder import PhraseVocabulary
@@ -98,10 +99,14 @@ class LogParser:
 
     def fit(self, records: Iterable[LogRecord]) -> "LogParser":
         """Mine templates and build the phrase vocabulary from *records*."""
-        for record in records:
-            template = self.miner.add_message(record.message)
-            self._intern(template.text)
-        self._fitted = True
+        with current_tracer().span("parse.fit") as span:
+            count = 0
+            for record in records:
+                template = self.miner.add_message(record.message)
+                self._intern(template.text)
+                count += 1
+            self._fitted = True
+            span.set(records=count, phrases=len(self.vocab))
         return self
 
     def _intern(self, text: str) -> int:
@@ -141,15 +146,19 @@ class LogParser:
 
     def transform(self, records: Iterable[LogRecord]) -> ParseResult:
         """Encode a record stream, skipping out-of-vocabulary messages."""
-        events: list[ParsedEvent] = []
-        skipped = 0
-        for record in records:
-            event = self.encode(record)
-            if event is None:
-                skipped += 1
-            else:
-                events.append(event)
-        events.sort()
+        with current_tracer().span("parse.transform") as span:
+            events: list[ParsedEvent] = []
+            skipped = 0
+            for record in records:
+                event = self.encode(record)
+                if event is None:
+                    skipped += 1
+                else:
+                    events.append(event)
+            events.sort()
+            span.set(events=len(events), skipped=skipped)
+        if skipped:
+            metrics_registry().counter("parse.oov_skipped").inc(skipped)
         return ParseResult(events=events, skipped=skipped)
 
     def transform_lines(
@@ -168,7 +177,12 @@ class LogParser:
             from ..resilience.ingest import HardenedIngestor
 
             ingestor = HardenedIngestor()
-        result = self.transform(ingestor.ingest_lines(lines))
+        with current_tracer().span("ingest.transform_lines") as span:
+            result = self.transform(ingestor.ingest_lines(lines))
+            span.set(
+                lines=ingestor.stats.lines_seen,
+                quarantined=ingestor.stats.quarantined,
+            )
         result.ingest_stats = ingestor.stats
         return result
 

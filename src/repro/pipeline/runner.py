@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..errors import ArtifactError, PipelineError
+from ..obs import current_tracer, metrics_registry
 from .artifacts import Artifact, ArtifactStore
 from .fingerprint import combine
 from .stage import Stage, StageContext
@@ -154,30 +155,39 @@ class PipelineRunner:
         fps = self.fingerprints(data_fingerprint)
         artifacts: dict[str, Artifact] = {}
         reports: list[StageReport] = []
-        for name in self.order:
-            stage = self.stages[name]
-            fp = fps[name]
-            start = time.perf_counter()
-            value, hit, path = self._materialize(stage, fp, ctx)
-            seconds = time.perf_counter() - start
-            ctx.inputs[name] = value
-            artifacts[name] = Artifact(
-                stage=name,
-                fingerprint=fp,
-                value=value,
-                cache_hit=hit,
-                seconds=seconds,
-                path=path,
-            )
-            reports.append(
-                StageReport(
-                    name=name,
+        tracer = current_tracer()
+        registry = metrics_registry()
+        with tracer.span("pipeline.run", stages=len(self.order)):
+            for name in self.order:
+                stage = self.stages[name]
+                fp = fps[name]
+                with tracer.span(f"stage:{name}") as span:
+                    start = time.perf_counter()
+                    value, hit, path = self._materialize(stage, fp, ctx)
+                    seconds = time.perf_counter() - start
+                    span.set(cache_hit=hit)
+                registry.counter(
+                    "pipeline.cache_hits" if hit else "pipeline.cache_misses"
+                ).inc()
+                registry.histogram("pipeline.stage_ms").observe(seconds * 1e3)
+                ctx.inputs[name] = value
+                artifacts[name] = Artifact(
+                    stage=name,
                     fingerprint=fp,
+                    value=value,
                     cache_hit=hit,
                     seconds=seconds,
-                    deps=stage.deps,
+                    path=path,
                 )
-            )
+                reports.append(
+                    StageReport(
+                        name=name,
+                        fingerprint=fp,
+                        cache_hit=hit,
+                        seconds=seconds,
+                        deps=stage.deps,
+                    )
+                )
         return PipelineResult(artifacts=artifacts, reports=reports)
 
     def _materialize(self, stage: Stage, fp: str, ctx: StageContext):

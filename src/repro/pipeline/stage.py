@@ -39,6 +39,18 @@ class StageContext:
         """The computed value of an upstream stage."""
         return self.inputs[stage]
 
+    def span(self, name: str, **attributes: object):
+        """A tracing span for work inside this pipeline run.
+
+        Opens a child of the active span on the process tracer (the
+        runner wraps every ``Stage.run`` in a ``stage:<name>`` span, so
+        stage-internal spans nest under their stage automatically).  A
+        no-op under the default :class:`~repro.obs.NullTracer`.
+        """
+        from ..obs import current_tracer
+
+        return current_tracer().span(name, **attributes)
+
     def checkpoint_for(self, stage: str):
         """A :class:`CheckpointManager` for *stage*, or ``None``."""
         if self.checkpoint_root is None:

@@ -34,6 +34,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ..errors import CheckpointError, ConfigError
+from ..obs import current_tracer, metrics_registry
 
 __all__ = [
     "CheckpointManager",
@@ -125,6 +126,18 @@ class CheckpointManager:
         """
         if step < 0:
             raise CheckpointError(f"step must be >= 0, got {step}")
+        with current_tracer().span(
+            "checkpoint.save", step=step, arrays=len(arrays)
+        ):
+            return self._save(step, arrays, meta)
+
+    def _save(
+        self,
+        step: int,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, object],
+    ) -> Path:
+        """The body of :meth:`save` (wrapped in its tracing span)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         buf = io.BytesIO()
         np.savez(buf, __meta__=json.dumps(dict(meta)), **dict(arrays))
@@ -142,6 +155,7 @@ class CheckpointManager:
                 (self.directory / entry["file"]).unlink(missing_ok=True)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+        metrics_registry().counter("checkpoint.saves").inc()
         return self.directory / name
 
     # ------------------------------------------------------------------
@@ -164,11 +178,16 @@ class CheckpointManager:
         if not entries:
             return None
         failures: list[str] = []
-        for entry in reversed(entries):
-            try:
-                return self._load_entry(entry)
-            except CheckpointError as exc:
-                failures.append(str(exc))
+        with current_tracer().span("checkpoint.load") as span:
+            for entry in reversed(entries):
+                try:
+                    loaded = self._load_entry(entry)
+                except CheckpointError as exc:
+                    failures.append(str(exc))
+                    continue
+                span.set(step=loaded[0], skipped=len(failures))
+                metrics_registry().counter("checkpoint.restores").inc()
+                return loaded
         raise CheckpointError(
             "all checkpoints failed verification: " + "; ".join(failures)
         )

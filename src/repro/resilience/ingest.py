@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional
 
 from ..errors import ConfigError, IngestError, ParseError
+from ..obs import metrics_registry
 from ..simlog.record import LogRecord, parse_line
 
 __all__ = ["IngestConfig", "IngestStats", "DeadLetter", "HardenedIngestor"]
@@ -159,6 +160,7 @@ class HardenedIngestor:
             return None
         if self.config.dedup_window > 0 and self._is_duplicate(line):
             self.stats.duplicates_dropped += 1
+            metrics_registry().counter("ingest.duplicates").inc()
             return None
         try:
             record = parse_line(line)
@@ -183,6 +185,7 @@ class HardenedIngestor:
 
     def _quarantine(self, line: str, reason: str) -> None:
         self.stats.quarantined += 1
+        metrics_registry().counter("ingest.quarantined").inc()
         if len(self.dead_letters) < self.config.dead_letter_cap:
             self.dead_letters.append(
                 DeadLetter(

@@ -1,0 +1,249 @@
+"""Metrics tests: example-based semantics plus the histogram property suite.
+
+The property tests pin the semantics the concurrency story depends on:
+merging is associative and commutative *bit-for-bit* (exact Fraction
+sums), quantiles are monotone in the rank, and a random split of an
+observation stream merges back to exactly the sequential histogram.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    activate_metrics,
+    metrics_registry,
+    obs_enabled,
+    set_metrics_registry,
+)
+
+BOUNDS = (0.1, 0.5, 1.0, 5.0)
+
+observations = st.lists(
+    st.floats(
+        min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+    ),
+    max_size=60,
+)
+
+
+def _hist(values, boundaries=BOUNDS):
+    h = Histogram(boundaries)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _state(h):
+    """The full comparable state of a histogram."""
+    return (h.bucket_counts(), h.count, h.sum_exact, h.min, h.max)
+
+
+# ----------------------------------------------------------------------
+# counters / gauges
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        assert a.merge(b).value == 7
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter().merge(Gauge())
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        assert math.isnan(g.value)
+        g.set(1.0)
+        g.set(2.5)
+        assert g.value == 2.5
+        assert g.updates == 2
+
+    def test_merge_prefers_set_other(self):
+        mine, other = Gauge(), Gauge()
+        mine.set(1.0)
+        mine.merge(other)  # other never set: value kept
+        assert mine.value == 1.0
+        other.set(9.0)
+        mine.merge(other)
+        assert mine.value == 9.0
+        assert mine.updates == 2
+
+
+# ----------------------------------------------------------------------
+# histogram semantics (example-based)
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_bucketing_includes_upper_bound(self):
+        h = _hist([0.1, 0.10001, 5.0, 6.0])
+        assert h.bucket_counts() == [1, 1, 0, 1, 1]
+
+    def test_rejects_non_finite_observations(self):
+        h = Histogram(BOUNDS)
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ObservabilityError):
+                h.observe(bad)
+
+    def test_rejects_bad_boundaries(self):
+        for bad in ((), (1.0, 1.0), (2.0, 1.0), (0.0, float("inf"))):
+            with pytest.raises(ObservabilityError):
+                Histogram(bad)
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram(BOUNDS).quantile(0.5))
+
+    def test_quantile_rank_validated(self):
+        with pytest.raises(ObservabilityError):
+            _hist([1.0]).quantile(1.5)
+
+    def test_single_value_quantiles_collapse(self):
+        h = _hist([0.65], DEFAULT_MS_BUCKETS)
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 0.65
+
+    def test_merge_boundary_mismatch_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(BOUNDS).merge(Histogram((1.0, 2.0)))
+
+    def test_copy_is_independent(self):
+        h = _hist([0.2, 0.3])
+        c = h.copy()
+        c.observe(0.4)
+        assert h.count == 2 and c.count == 3
+
+
+# ----------------------------------------------------------------------
+# histogram property suite (seeded via hypothesis's deterministic DB)
+# ----------------------------------------------------------------------
+@settings(max_examples=60)
+@given(observations, observations)
+def test_merge_is_commutative(xs, ys):
+    ab = _hist(xs).merge(_hist(ys))
+    ba = _hist(ys).merge(_hist(xs))
+    assert _state(ab) == _state(ba)
+
+
+@settings(max_examples=60)
+@given(observations, observations, observations)
+def test_merge_is_associative(xs, ys, zs):
+    left = _hist(xs).merge(_hist(ys)).merge(_hist(zs))
+    right = _hist(xs).merge(_hist(ys).merge(_hist(zs)))
+    assert _state(left) == _state(right)
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.floats(
+            min_value=0.0,
+            max_value=50.0,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=8),
+)
+def test_quantiles_are_monotone_and_clamped(values, ranks):
+    h = _hist(values)
+    ranks = sorted(ranks)
+    estimates = [h.quantile(q) for q in ranks]
+    assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+    assert all(h.min <= e <= h.max for e in estimates)
+
+
+@settings(max_examples=60)
+@given(observations, st.randoms(use_true_random=False))
+def test_random_split_merges_back_exactly(values, rand):
+    sequential = _hist(values)
+    shards = [Histogram(BOUNDS) for _ in range(4)]
+    for v in values:
+        shards[rand.randrange(4)].observe(v)
+    rand.shuffle(shards)
+    merged = Histogram(BOUNDS)
+    for shard in shards:
+        merged.merge(shard)
+    # Conservation: counts, buckets, extrema and the *exact* sum all
+    # survive an arbitrary split + merge order, bit-for-bit.
+    assert _state(merged) == _state(sequential)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.names() == ["x"]
+
+    def test_kind_clash_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ObservabilityError):
+            r.gauge("x")
+
+    def test_histogram_boundary_clash_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", BOUNDS)
+        assert r.histogram("h") is not None  # no boundaries: no check
+        with pytest.raises(ObservabilityError):
+            r.histogram("h", (1.0, 2.0))
+
+    def test_merge_folds_every_kind(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.gauge("g").set(3.0)
+        b.histogram("h", BOUNDS).observe(0.2)
+        a.merge(b)
+        assert a.counter("c").value == 3
+        assert a.gauge("g").value == 3.0
+        assert a.histogram("h").count == 1
+
+    def test_json_snapshot_is_sorted_and_parseable(self):
+        r = MetricsRegistry()
+        r.counter("b.two").inc()
+        r.gauge("a.one").set(1.5)
+        snap = json.loads(r.to_json())
+        assert list(snap) == sorted(snap)
+        assert snap["b.two"] == {"type": "counter", "value": 1}
+
+    def test_prometheus_exposition_shape(self):
+        r = MetricsRegistry()
+        r.counter("ingest.quarantined").inc(3)
+        r.histogram("lat.ms", (1.0, 2.0)).observe(1.5)
+        text = r.to_prometheus()
+        assert "# TYPE repro_ingest_quarantined counter" in text
+        assert "repro_ingest_quarantined 3" in text
+        assert 'repro_lat_ms_bucket{le="+Inf"} 1' in text
+        assert text.endswith("\n")
+
+    def test_activate_metrics_installs_and_gates(self):
+        before = metrics_registry()
+        registry = MetricsRegistry(active=True)
+        with activate_metrics(registry):
+            assert metrics_registry() is registry
+            assert obs_enabled()
+        assert metrics_registry() is before
+
+    def test_set_registry_rejects_non_registries(self):
+        with pytest.raises(ObservabilityError):
+            set_metrics_registry({})

@@ -1,0 +1,156 @@
+"""Tests for the tracing half of the observability layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    activate_tracer,
+    current_tracer,
+    obs_enabled,
+    set_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_follows_dynamic_scope(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["root"].parent_id is None
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["grandchild"].parent_id == spans["child"].span_id
+        assert spans["sibling"].parent_id == spans["root"].span_id
+
+    def test_ids_are_sequential_creation_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        assert [s.span_id for s in tracer.spans()] == [0, 1, 2]
+
+    def test_durations_recorded_on_exit(self):
+        tracer = Tracer()
+        handle = tracer.span("work")
+        assert not handle.span.finished
+        with handle:
+            pass
+        assert handle.span.finished
+        assert handle.span.duration >= 0.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set(b="two", c=3.5)
+        recorded = tracer.spans()[0]
+        assert recorded.attributes == {"a": 1, "b": "two", "c": 3.5}
+
+    def test_error_name_recorded_and_exception_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.spans()[0]
+        assert span.error == "ValueError"
+        assert span.finished
+
+    def test_worker_threads_get_their_own_stacks(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("worker"):
+                pass
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        spans = {s.name: s for s in tracer.spans()}
+        # The worker had no active span on *its* stack: it is a root,
+        # not a child of "main".
+        assert spans["worker"].parent_id is None
+
+
+class TestDescribe:
+    def test_masked_describe_is_stable(self):
+        def run():
+            tracer = Tracer()
+            with tracer.span("root", n=2):
+                with tracer.span("leaf", ok=True):
+                    pass
+            return tracer.describe()
+
+        first, second = run(), run()
+        assert first == second
+        assert first == "root n=2\n  leaf ok=True"
+
+    def test_unmasked_describe_includes_durations(self):
+        tracer = Tracer()
+        with tracer.span("t"):
+            pass
+        assert "ms)" in tracer.describe(mask_durations=False)
+
+    def test_float_attributes_render_compactly(self):
+        tracer = Tracer()
+        with tracer.span("s", ratio=0.3333333333333):
+            pass
+        assert tracer.describe() == "s ratio=0.333333"
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", n=1):
+            with tracer.span("leaf"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["root", "leaf"]
+        assert rows[0]["attributes"] == {"n": 1}
+        assert rows[1]["parent_id"] == rows[0]["span_id"]
+        assert all(r["duration"] >= 0 for r in rows)
+
+    def test_null_tracer_refuses_export(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            NullTracer().export_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestProcessTracer:
+    def test_default_is_null_and_disabled(self):
+        tracer = current_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+        assert not obs_enabled()
+
+    def test_null_span_is_shared_noop(self):
+        tracer = NullTracer()
+        handle = tracer.span("anything", big=list(range(5)))
+        assert handle is tracer.span("other")
+        with handle as h:
+            assert h.set(x=1) is h
+        assert tracer.spans() == []
+        assert tracer.describe() == ""
+
+    def test_activate_tracer_installs_and_restores(self):
+        before = current_tracer()
+        tracer = Tracer()
+        with activate_tracer(tracer):
+            assert current_tracer() is tracer
+            assert obs_enabled()
+        assert current_tracer() is before
+
+    def test_set_tracer_rejects_non_tracers(self):
+        with pytest.raises(ObservabilityError):
+            set_tracer(object())
