@@ -1,0 +1,134 @@
+"""Service soak — throughput, tail latency and recovery SLOs under chaos.
+
+The serving layer's robustness contract (DESIGN §13): under injected
+worker crashes the service sheds load instead of erroring, every crashed
+shard worker is restarted, and post-restart predictions are bit-identical
+to a fault-free run.  This bench drives a sustained ingest against the
+sharded :class:`~repro.serve.PredictionService` through the chaos-soak
+harness and prints the operational numbers an SLO review would ask for:
+
+* sustained ingest throughput (accepted lines/s, end to end);
+* p50/p99 ingest batch latency and p50/p99 on-demand predict latency;
+* worst recovery time after an injected worker kill, against the
+  documented ``RECOVERY_SLO_SECONDS`` budget;
+* the availability ratio (everything not errored: accepted + deduped +
+  shed-and-retried), against ``AVAILABILITY_SLO``.
+
+Shape to hold: zero unhandled exceptions and zero lost lines on both
+profiles, bit-identity on the crash-only profile, and recovery inside
+the SLO budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.serve import (
+    AVAILABILITY_SLO,
+    RECOVERY_SLO_SECONDS,
+    ServeConfig,
+    run_soak,
+)
+from repro.simlog.record import render_line
+
+PROFILES = ("service-crash", "service-storm")
+MAX_LINES = 4000
+
+
+def _percentile(samples: list, q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f}"
+
+
+@pytest.mark.soak
+def test_service_soak(benchmark, capsys, m3_run):
+    lines = [render_line(r) for r in m3_run.test.records][:MAX_LINES]
+    config = ServeConfig(num_shards=2, queue_depth=64)
+    reports = {
+        name: run_soak(
+            m3_run.model,
+            lines,
+            name,
+            seed=2018,
+            config=config,
+            predict_every=16,
+        )
+        for name in PROFILES
+    }
+
+    rows = []
+    for name, report in reports.items():
+        throughput = (
+            report.accepted / report.elapsed_seconds
+            if report.elapsed_seconds > 0
+            else 0.0
+        )
+        rows.append(
+            [
+                name,
+                f"{throughput:.0f}",
+                _ms(_percentile(report.ingest_latencies, 0.50)),
+                _ms(_percentile(report.ingest_latencies, 0.99)),
+                _ms(_percentile(report.predict_latencies, 0.50)),
+                _ms(_percentile(report.predict_latencies, 0.99)),
+                f"{report.crashes_injected}/{report.worker_restarts}",
+                f"{report.max_recovery_seconds:.3f}",
+                f"{report.availability:.3f}",
+                {True: "yes", False: "NO", None: "n/a"}[report.bit_identical],
+            ]
+        )
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                [
+                    "Profile",
+                    "Lines/s",
+                    "Ing p50ms",
+                    "Ing p99ms",
+                    "Pred p50ms",
+                    "Pred p99ms",
+                    "Crash/Rst",
+                    "MaxRec s",
+                    "Avail",
+                    "BitIdent",
+                ],
+                rows,
+                title=(
+                    "Service chaos soak — throughput, tail latency, "
+                    "recovery (M3)"
+                ),
+            )
+        )
+
+    for name, report in reports.items():
+        assert report.unhandled_errors == [], f"{name}: unhandled errors"
+        assert report.lost == 0, f"{name}: lines lost silently"
+        assert report.workers_given_up == 0, f"{name}: worker gave up"
+        assert report.availability >= AVAILABILITY_SLO, (
+            f"{name}: availability {report.availability:.3f} below SLO"
+        )
+        assert report.max_recovery_seconds <= RECOVERY_SLO_SECONDS, (
+            f"{name}: recovery {report.max_recovery_seconds:.2f}s over "
+            f"{RECOVERY_SLO_SECONDS:.1f}s SLO"
+        )
+    assert reports["service-crash"].bit_identical is True
+
+    def crash_soak_smoke():
+        return run_soak(
+            m3_run.model,
+            lines[:800],
+            "service-crash",
+            seed=7,
+            config=config,
+        )
+
+    benchmark.pedantic(crash_soak_smoke, rounds=1, iterations=1)

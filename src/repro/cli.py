@@ -33,6 +33,19 @@ Commands
     Run any other subcommand with an active metrics registry and print
     (or write) the counter/gauge/histogram snapshot as JSON or
     Prometheus text.
+``serve``
+    Run the fault-tolerant prediction service over a trained model
+    directory: sharded streaming monitors behind bounded queues with
+    backpressure/load-shedding, supervised workers, per-shard circuit
+    breakers, SSE alert streaming and a Prometheus endpoint.  Graceful
+    shutdown drains the queues and (with ``--checkpoint-dir``) writes
+    an atomic checkpoint that a restart resumes bit-identically.
+``soak``
+    Chaos-soak the service: train (or load) a model, stream a rendered
+    test log through a live service while injecting service faults
+    (worker crashes, stalls, ingest bursts) and print the robustness
+    report — restarts, recovery times vs the SLO, shed/retry
+    accounting, and bit-identity vs a fault-free run.
 ``lint``
     Run the deshlint static-analysis gate — syntactic rules R1-R5 plus
     the dataflow analyses F1-F3 (shape flow, stage artifact flow,
@@ -86,6 +99,8 @@ __all__ = [
     "cmd_evaluate",
     "cmd_report",
     "cmd_chaos",
+    "cmd_serve",
+    "cmd_soak",
     "cmd_lint",
     "cmd_trace",
     "cmd_metrics",
@@ -245,6 +260,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="artifact cache root for training stages and the parsed test log",
     )
+
+    sv = sub.add_parser(
+        "serve", help="run the fault-tolerant prediction service"
+    )
+    sv.add_argument("--model-dir", required=True, help="trained model directory")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8633, help="listen port (0 picks a free one)"
+    )
+    sv.add_argument("--shards", type=int, default=4, help="monitor shards")
+    sv.add_argument(
+        "--queue-depth", type=int, default=256, help="per-shard queue capacity"
+    )
+    sv.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=250,
+        help="default prediction deadline in milliseconds",
+    )
+    sv.add_argument(
+        "--checkpoint-dir",
+        help="write a resume checkpoint here on graceful shutdown "
+        "(and restore the latest one on start)",
+    )
+    sv.add_argument(
+        "--no-restore",
+        action="store_true",
+        help="start fresh even when --checkpoint-dir holds a checkpoint",
+    )
+    sv.add_argument(
+        "--max-seconds",
+        type=float,
+        help="serve for this long then shut down gracefully (CI smoke)",
+    )
+
+    sk = sub.add_parser(
+        "soak", help="chaos-soak the prediction service and print the report"
+    )
+    sk.add_argument("--system", default="M1")
+    sk.add_argument("--seed", type=int, default=2018)
+    sk.add_argument("--train-fraction", type=float, default=0.3)
+    sk.add_argument(
+        "--profile",
+        default="service-crash",
+        help="fault profile name (service-crash/service-storm/...)",
+    )
+    sk.add_argument("--chaos-seed", type=int, default=0, help="fault injector seed")
+    sk.add_argument(
+        "--batch-size", type=int, default=64, help="ingest batch size in lines"
+    )
+    sk.add_argument(
+        "--max-lines", type=int, help="cap the soaked stream at this many lines"
+    )
+    sk.add_argument(
+        "--cache-dir", help="artifact cache root for the training stages"
+    )
+    sk.add_argument("--json", action="store_true", help="print the report as JSON")
     return parser
 
 
@@ -615,6 +687,113 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the prediction service until interrupted.
+
+    Ctrl-C (or ``--max-seconds`` elapsing) triggers graceful shutdown:
+    ingest seals, queues drain, workers stop, and — when
+    ``--checkpoint-dir`` is set — an atomic resume checkpoint is
+    written.  A restart with the same checkpoint dir resumes the stream
+    bit-identically.
+    """
+    import asyncio
+
+    from .pipeline.persist import load_model
+    from .serve import ServeConfig, PredictionService, run_server
+
+    model = load_model(args.model_dir)
+    config = ServeConfig(
+        num_shards=args.shards,
+        queue_depth=args.queue_depth,
+        deadline_seconds=args.deadline_ms / 1000.0,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    service = PredictionService(model, config)
+    try:
+        health = asyncio.run(
+            run_server(
+                service,
+                host=args.host,
+                port=args.port,
+                max_seconds=args.max_seconds,
+                restore=not args.no_restore,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; shut down", file=sys.stderr)
+        return 0
+    print(
+        f"served {sum(s['lines_processed'] for s in health['shards'])} lines, "
+        f"{health['alert_seq']} alerts, {health['restarts']} worker restarts"
+    )
+    return 0
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    """``repro soak``: chaos-soak the service and print the report.
+
+    Trains on the leading split of a generated system, renders the rest
+    as raw lines, and drives them through a live service under the
+    chosen fault profile.  Exits 1 when the soak violates the
+    robustness contract (unhandled errors, lost lines, bit-identity
+    break, or recovery over the SLO).
+    """
+    from .resilience import FAULT_PROFILES
+    from .serve import RECOVERY_SLO_SECONDS, run_soak
+    from .simlog.record import render_line
+
+    if args.profile not in FAULT_PROFILES:
+        # Catch a typo *before* spending minutes training the model.
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ConfigError(
+            f"unknown fault profile {args.profile!r} (known: {known})"
+        )
+    log = generate_system(args.system, seed=args.seed)
+    train, test = log.split(args.train_fraction)
+    model = Desh(DeshConfig(seed=args.seed)).fit(
+        list(train.records), train_classifier=False, cache_dir=args.cache_dir
+    )
+    lines = [render_line(r) for r in test.records]
+    if args.max_lines is not None:
+        lines = lines[: args.max_lines]
+    report = run_soak(
+        model,
+        lines,
+        args.profile,
+        seed=args.chaos_seed,
+        batch_size=args.batch_size,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1))
+    else:
+        print(
+            f"soak profile {report.profile} over {report.lines_sent} lines:"
+        )
+        print(
+            f"  accepted {report.accepted}  deduped {report.deduped}  "
+            f"shed-events {report.shed_events}  retries {report.retries}  "
+            f"lost {report.lost}"
+        )
+        print(
+            f"  crashes {report.crashes_injected}  stalls "
+            f"{report.stalls_injected}  bursts {report.bursts_injected}  "
+            f"restarts {report.worker_restarts}"
+        )
+        print(
+            f"  max recovery {report.max_recovery_seconds * 1000:.1f} ms "
+            f"(SLO {RECOVERY_SLO_SECONDS:.1f} s)  alerts {report.alerts}  "
+            f"bit-identical {report.bit_identical}"
+        )
+    ok = (
+        not report.unhandled_errors
+        and report.lost == 0
+        and report.workers_given_up == 0
+        and report.bit_identical is not False
+        and report.max_recovery_seconds <= RECOVERY_SLO_SECONDS
+    )
+    return 0 if ok else 1
+
+
 # ----------------------------------------------------------------------
 # observability wrappers
 # ----------------------------------------------------------------------
@@ -748,6 +927,8 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "report": cmd_report,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
+    "soak": cmd_soak,
     "lint": cmd_lint,
     "trace": cmd_trace,
     "metrics": cmd_metrics,

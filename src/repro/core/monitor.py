@@ -24,7 +24,16 @@ The monitor is hardened for unattended production use:
 * raw lines can be fed directly through the hardened ingest front-end
   (:meth:`feed_line` / :meth:`run_lines`), which quarantines
   unparseable input against an error budget;
-* :meth:`health` returns a stats snapshot for operator dashboards.
+* :meth:`health` returns a stats snapshot for operator dashboards,
+  including a coarse ``status`` that transitions healthy → degraded on
+  a scoring failure and degraded → recovered after a configurable run
+  of successful scorings;
+* the serving layer can force the monitor into **degraded mode**
+  (:attr:`degraded_mode`), in which events are still buffered but
+  scoring is skipped — the path a tripped circuit breaker routes
+  through — and can snapshot/restore the complete mutable state
+  (:meth:`state_dict` / :meth:`load_state_dict`) for bit-identical
+  checkpoint resume.
 """
 
 from __future__ import annotations
@@ -46,7 +55,13 @@ __all__ = ["StreamingMonitor", "MonitorHealth"]
 
 @dataclass(frozen=True)
 class MonitorHealth:
-    """Point-in-time stats snapshot of a :class:`StreamingMonitor`."""
+    """Point-in-time stats snapshot of a :class:`StreamingMonitor`.
+
+    ``status`` is the coarse operator-facing state: ``"healthy"`` until
+    the first scoring failure, ``"degraded"`` while failures are recent,
+    and ``"recovered"`` once ``recovery_successes`` consecutive scorings
+    have succeeded after the last failure.
+    """
 
     records_seen: int
     warnings_raised: int
@@ -57,15 +72,19 @@ class MonitorHealth:
     nodes_evicted: int
     episodes_closed: int
     ingest: "dict | None" = field(default=None)
+    status: str = "healthy"
+    scores_attempted: int = 0
 
     def as_dict(self) -> dict:
         """The snapshot as a plain dict (for JSON dashboards)."""
         out = {
+            "status": self.status,
             "records_seen": self.records_seen,
             "warnings_raised": self.warnings_raised,
             "open_episodes": self.open_episodes,
             "tracked_nodes": self.tracked_nodes,
             "degraded_skips": self.degraded_skips,
+            "scores_attempted": self.scores_attempted,
             "events_evicted": self.events_evicted,
             "nodes_evicted": self.nodes_evicted,
             "episodes_closed": self.episodes_closed,
@@ -93,6 +112,9 @@ class StreamingMonitor:
     ingest_config:
         Optional :class:`~repro.resilience.IngestConfig` for the
         raw-line path (:meth:`feed_line` / :meth:`run_lines`).
+    recovery_successes:
+        Consecutive successful scorings after a failure before the
+        health status flips from ``"degraded"`` to ``"recovered"``.
     """
 
     def __init__(
@@ -103,6 +125,7 @@ class StreamingMonitor:
         max_nodes: int = 4096,
         max_events_per_node: int = 512,
         ingest_config=None,
+        recovery_successes: int = 3,
     ) -> None:
         if max_nodes < 1:
             raise ConfigError(f"max_nodes must be >= 1, got {max_nodes}")
@@ -110,10 +133,15 @@ class StreamingMonitor:
             raise ConfigError(
                 f"max_events_per_node must be >= 2, got {max_events_per_node}"
             )
+        if recovery_successes < 1:
+            raise ConfigError(
+                f"recovery_successes must be >= 1, got {recovery_successes}"
+            )
         self.model = model
         self.gap = episode_gap
         self.max_nodes = max_nodes
         self.max_events_per_node = max_events_per_node
+        self.recovery_successes = recovery_successes
         self._buffers: "OrderedDict[CrayNodeId, list[ParsedEvent]]" = OrderedDict()
         self._alerted: set[CrayNodeId] = set()
         self._ingestor = None
@@ -121,9 +149,13 @@ class StreamingMonitor:
         self.records_seen = 0
         self.warnings_raised = 0
         self.degraded_skips = 0
+        self.scores_attempted = 0
         self.events_evicted = 0
         self.nodes_evicted = 0
         self.episodes_closed = 0
+        self.degraded_mode = False
+        self._status = "healthy"
+        self._successes_since_skip = 0
 
     # ------------------------------------------------------------------
     def feed(self, record: LogRecord) -> Optional[FailureWarning]:
@@ -149,12 +181,24 @@ class StreamingMonitor:
             del buf[0]
             self.events_evicted += 1
         buf.append(event)
-        try:
-            warning = self._maybe_alert(event, buf)
-        except PredictionError:
+        if self.degraded_mode:
+            # Forced degraded path (tripped circuit breaker): keep
+            # buffering so episodes stay warm, but skip scoring.
             self.degraded_skips += 1
             metrics_registry().counter("monitor.degraded_skips").inc()
+            self._note_skip()
             warning = None
+        else:
+            self.scores_attempted += 1
+            try:
+                warning = self._maybe_alert(event, buf)
+            except PredictionError:
+                self.degraded_skips += 1
+                metrics_registry().counter("monitor.degraded_skips").inc()
+                self._note_skip()
+                warning = None
+            else:
+                self._note_success()
         if event.terminal:
             # Close terminal episodes eagerly: the node went down, so
             # its next record necessarily starts a fresh episode, and
@@ -163,6 +207,23 @@ class StreamingMonitor:
             self._alerted.discard(event.node)
             self.episodes_closed += 1
         return warning
+
+    def _note_skip(self) -> None:
+        """A scoring opportunity was skipped: enter the degraded status."""
+        self._status = "degraded"
+        self._successes_since_skip = 0
+
+    def _note_success(self) -> None:
+        """A scoring attempt succeeded: progress toward recovery."""
+        if self._status == "degraded":
+            self._successes_since_skip += 1
+            if self._successes_since_skip >= self.recovery_successes:
+                self._status = "recovered"
+
+    @property
+    def status(self) -> str:
+        """Coarse health state: ``healthy`` / ``degraded`` / ``recovered``."""
+        return self._status
 
     def _touch(self, node: CrayNodeId) -> list[ParsedEvent]:
         """LRU-access *node*'s buffer, evicting the coldest at capacity."""
@@ -256,11 +317,22 @@ class StreamingMonitor:
             nodes_evicted=self.nodes_evicted,
             episodes_closed=self.episodes_closed,
             ingest=ingest,
+            status=self._status,
+            scores_attempted=self.scores_attempted,
         )
 
     def pending_nodes(self) -> list[CrayNodeId]:
         """Nodes with an open (non-empty) anomalous episode."""
         return [node for node, buf in self._buffers.items() if buf]
+
+    def open_episode(self, node: CrayNodeId) -> tuple[ParsedEvent, ...]:
+        """The node's currently buffered episode (empty when untracked)."""
+        buf = self._buffers.get(node)
+        return tuple(buf) if buf else ()
+
+    def has_alerted(self, node: CrayNodeId) -> bool:
+        """Whether *node*'s open episode has already raised its warning."""
+        return node in self._alerted
 
     def reset(self) -> None:
         """Clear all per-node state (e.g. after a maintenance window)."""
@@ -268,3 +340,86 @@ class StreamingMonitor:
         self._alerted.clear()
         if self._ingestor is not None:
             self._ingestor.reset()
+
+    # ------------------------------------------------------------------
+    # checkpointable state (service graceful-shutdown / resume path)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The complete mutable state as a JSON-serializable dict.
+
+        Captures counters, the per-node buffers *in LRU order*, the
+        per-episode alert latches, the health-status machine and — when
+        the raw-line path has been used — the hardened ingestor's stats
+        and dedup window, so :meth:`load_state_dict` resumes a feed
+        bit-identically.
+        """
+        buffers = [
+            [str(node), [_event_state(e) for e in buf]]
+            for node, buf in self._buffers.items()
+        ]
+        return {
+            "version": 1,
+            "records_seen": self.records_seen,
+            "warnings_raised": self.warnings_raised,
+            "degraded_skips": self.degraded_skips,
+            "scores_attempted": self.scores_attempted,
+            "events_evicted": self.events_evicted,
+            "nodes_evicted": self.nodes_evicted,
+            "episodes_closed": self.episodes_closed,
+            "status": self._status,
+            "successes_since_skip": self._successes_since_skip,
+            "buffers": buffers,
+            "alerted": sorted(str(node) for node in self._alerted),
+            "ingest": (
+                self._ingestor.state_dict()
+                if self._ingestor is not None
+                else None
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        version = state.get("version")
+        if version != 1:
+            raise ConfigError(
+                f"unsupported monitor state version {version!r} (expected 1)"
+            )
+        self.reset()
+        self.records_seen = int(state["records_seen"])
+        self.warnings_raised = int(state["warnings_raised"])
+        self.degraded_skips = int(state["degraded_skips"])
+        self.scores_attempted = int(state["scores_attempted"])
+        self.events_evicted = int(state["events_evicted"])
+        self.nodes_evicted = int(state["nodes_evicted"])
+        self.episodes_closed = int(state["episodes_closed"])
+        self._status = str(state["status"])
+        self._successes_since_skip = int(state["successes_since_skip"])
+        for node_text, events in state["buffers"]:
+            node = CrayNodeId.parse(node_text)
+            self._buffers[node] = [_event_from_state(s) for s in events]
+        self._alerted = {CrayNodeId.parse(text) for text in state["alerted"]}
+        if state.get("ingest") is not None:
+            self._get_ingestor().load_state_dict(state["ingest"])
+
+
+def _event_state(event: ParsedEvent) -> list:
+    """Serialize one buffered event (inverse of :func:`_event_from_state`)."""
+    return [
+        event.timestamp,
+        event.phrase_id,
+        str(event.node) if event.node is not None else None,
+        event.label,
+        event.terminal,
+    ]
+
+
+def _event_from_state(state: list) -> ParsedEvent:
+    """Rebuild one buffered event from its serialized form."""
+    timestamp, phrase_id, node_text, label, terminal = state
+    return ParsedEvent(
+        timestamp=float(timestamp),
+        phrase_id=int(phrase_id),
+        node=CrayNodeId.parse(node_text) if node_text is not None else None,
+        label=str(label),
+        terminal=bool(terminal),
+    )

@@ -32,6 +32,8 @@ __all__ = [
     "ContractError",
     "LintError",
     "ObservabilityError",
+    "ServeError",
+    "InjectedFaultError",
 ]
 
 
@@ -133,3 +135,16 @@ class LintError(ReproError, RuntimeError):
 
 class ObservabilityError(ReproError, RuntimeError):
     """The tracing/metrics layer was misused (type clash, bad merge, ...)."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The prediction service was misconfigured or hit an internal fault."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A chaos-injected service fault (e.g. a worker crash) fired.
+
+    Raised only by fault-injection hooks during chaos soaks; the
+    supervisor treats it like any other worker crash and restarts the
+    worker.  It must never appear in production paths.
+    """

@@ -19,7 +19,13 @@ bounded* degradation:
   harness behind ``repro chaos`` and the degradation benchmarks.
 """
 
-from .chaos import FAULT_PROFILES, ChaosInjector, ChaosStats, FaultProfile
+from .chaos import (
+    FAULT_PROFILES,
+    ChaosInjector,
+    ChaosStats,
+    FaultProfile,
+    ServiceFaults,
+)
 from .checkpoint import CheckpointManager, pack_fit_state, restore_fit_state
 from .harness import ChaosReport, chaos_evaluation
 from .ingest import DeadLetter, HardenedIngestor, IngestConfig, IngestStats
@@ -29,6 +35,7 @@ __all__ = [
     "ChaosInjector",
     "ChaosStats",
     "FaultProfile",
+    "ServiceFaults",
     "CheckpointManager",
     "pack_fit_state",
     "restore_fit_state",

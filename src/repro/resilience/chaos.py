@@ -29,7 +29,13 @@ from ..errors import ConfigError
 from ..rng import derive_seed
 from ..simlog.record import LogRecord, render_line
 
-__all__ = ["FaultProfile", "ChaosStats", "ChaosInjector", "FAULT_PROFILES"]
+__all__ = [
+    "FaultProfile",
+    "ChaosStats",
+    "ChaosInjector",
+    "ServiceFaults",
+    "FAULT_PROFILES",
+]
 
 _TS_RE = re.compile(r"^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6}")
 _TS_FMT = "%Y-%m-%dT%H:%M:%S.%f"
@@ -74,6 +80,19 @@ class FaultProfile:
         Maximum absolute clock skew applied by ``skew_rate`` faults.
     drop_chunk:
         Number of consecutive lines removed per drop fault.
+    crash_rate:
+        *Service fault*: per-work-item probability that a shard worker
+        crash is injected mid-feed (the supervisor must restart it).
+    stall_rate:
+        *Service fault*: per-work-item probability of a slow-consumer
+        stall of ``stall_seconds`` before the item is processed.
+    stall_seconds:
+        Duration of one injected consumer stall.
+    burst_rate:
+        *Service fault*: per-batch probability the ingest driver sends
+        an oversized burst (``burst_factor`` merged batches at once).
+    burst_factor:
+        Batch-size multiplier applied when a burst fires.
     """
 
     corrupt_rate: float = 0.0
@@ -85,6 +104,11 @@ class FaultProfile:
     reorder_window: int = 0
     clock_skew_seconds: float = 0.0
     drop_chunk: int = 3
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_seconds: float = 0.0
+    burst_rate: float = 0.0
+    burst_factor: int = 1
 
     def __post_init__(self) -> None:
         for f in fields(self):
@@ -104,6 +128,14 @@ class FaultProfile:
             )
         if self.drop_chunk < 1:
             raise ConfigError(f"drop_chunk must be >= 1, got {self.drop_chunk}")
+        if self.stall_seconds < 0:
+            raise ConfigError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        if self.burst_factor < 1:
+            raise ConfigError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
 
     def is_null(self) -> bool:
         """True when the profile injects no faults at all."""
@@ -115,6 +147,26 @@ class FaultProfile:
             and self.garbage_rate == 0.0
             and self.skew_rate == 0.0
             and self.reorder_window == 0
+            and self.crash_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.burst_rate == 0.0
+        )
+
+    def has_line_faults(self) -> bool:
+        """True when the profile mutates the *line stream* itself.
+
+        Service faults (crashes, stalls, bursts) leave the data intact,
+        so a profile without line faults supports bit-identity
+        assertions between a faulted and a fault-free run.
+        """
+        return (
+            self.corrupt_rate != 0.0
+            or self.truncate_rate != 0.0
+            or self.duplicate_rate != 0.0
+            or self.drop_rate != 0.0
+            or self.garbage_rate != 0.0
+            or self.skew_rate != 0.0
+            or self.reorder_window != 0
         )
 
 
@@ -145,7 +197,48 @@ FAULT_PROFILES: dict[str, FaultProfile] = {
         reorder_window=16,
         clock_skew_seconds=5.0,
     ),
+    # Service-shaped profiles (PR 6): consumed by the serving soak
+    # harness.  "service-crash" injects only worker crashes — the line
+    # stream is untouched, so faulted and fault-free runs must produce
+    # bit-identical per-node predictions.  "service-storm" adds
+    # slow-consumer stalls, ingest burst storms and mild line damage.
+    "service-crash": FaultProfile(
+        crash_rate=0.08,
+    ),
+    "service-storm": FaultProfile(
+        corrupt_rate=0.02,
+        duplicate_rate=0.02,
+        crash_rate=0.03,
+        stall_rate=0.05,
+        stall_seconds=0.02,
+        burst_rate=0.10,
+        burst_factor=4,
+    ),
 }
+
+
+@dataclass(frozen=True)
+class ServiceFaults:
+    """The service-fault decisions drawn for one unit of service work.
+
+    ``crash`` asks the fault hook to raise
+    :class:`~repro.errors.InjectedFaultError` (worker crash mid-feed),
+    ``stall_seconds`` > 0 asks for a slow-consumer sleep before
+    processing, and ``burst_factor`` > 1 asks the ingest driver to
+    merge that many batches into one oversized send.
+    """
+
+    crash: bool = False
+    stall_seconds: float = 0.0
+    burst_factor: int = 1
+
+    def is_null(self) -> bool:
+        """True when no service fault fires for this unit of work."""
+        return (
+            not self.crash
+            and self.stall_seconds == 0.0
+            and self.burst_factor == 1
+        )
 
 
 @dataclass
@@ -161,6 +254,9 @@ class ChaosStats:
     garbage_injected: int = 0
     skewed: int = 0
     reordered: int = 0
+    crashes_injected: int = 0
+    stalls_injected: int = 0
+    bursts_injected: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain dict (for JSON reports)."""
@@ -177,6 +273,9 @@ class ChaosStats:
             + self.garbage_injected
             + self.skewed
             + self.reordered
+            + self.crashes_injected
+            + self.stalls_injected
+            + self.bursts_injected
         )
 
 
@@ -194,6 +293,36 @@ class ChaosInjector:
         self.seed = seed
         self.stats = ChaosStats()
         self._rng = np.random.default_rng(derive_seed(seed, "chaos"))
+        # Service faults draw from their own derived stream so the
+        # line-fault sequence stays bit-identical whether or not the
+        # consumer also asks for service-fault decisions.
+        self._service_rng = np.random.default_rng(
+            derive_seed(seed, "chaos.service")
+        )
+
+    def service_faults(self) -> ServiceFaults:
+        """Draw the service-fault decisions for one unit of work.
+
+        Deterministic given ``(profile, seed)`` and the number of prior
+        calls on this injector; independent of the line-fault stream.
+        """
+        p = self.profile
+        crash = bool(
+            p.crash_rate > 0 and self._service_rng.random() < p.crash_rate
+        )
+        stall = 0.0
+        if p.stall_rate > 0 and self._service_rng.random() < p.stall_rate:
+            stall = p.stall_seconds
+        burst = 1
+        if p.burst_rate > 0 and self._service_rng.random() < p.burst_rate:
+            burst = p.burst_factor
+        if crash:
+            self.stats.crashes_injected += 1
+        if stall > 0:
+            self.stats.stalls_injected += 1
+        if burst > 1:
+            self.stats.bursts_injected += 1
+        return ServiceFaults(crash=crash, stall_seconds=stall, burst_factor=burst)
 
     # ------------------------------------------------------------------
     # per-line fault transforms

@@ -155,8 +155,46 @@ class CheckpointManager:
                 (self.directory / entry["file"]).unlink(missing_ok=True)
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
+        self.gc()
         metrics_registry().counter("checkpoint.saves").inc()
         return self.directory / name
+
+    def gc(self) -> list[str]:
+        """Prune files the manifest does not reference; returns their names.
+
+        A long-running service checkpoints indefinitely; crashes between
+        the payload write and the manifest update (or mid-``tmp`` write)
+        leave orphaned ``ckpt-*.npz`` payloads and stale ``*.tmp`` files
+        behind.  Retention (``keep``) only unlinks manifest-listed
+        payloads, so without GC the directory grows without bound.  GC
+        runs after every save and is atomic in the only sense that
+        matters: it removes nothing the manifest references, so a crash
+        mid-GC leaves every live checkpoint loadable.
+        """
+        if not self.directory.is_dir():
+            return []
+        referenced = {str(e["file"]) for e in self._read_manifest()}
+        removed: list[str] = []
+        for path in sorted(self.directory.iterdir()):
+            name = path.name
+            if name == _MANIFEST or name in referenced:
+                continue
+            is_orphan_payload = name.startswith("ckpt-") and name.endswith(
+                ".npz"
+            )
+            is_stale_tmp = name.endswith(".tmp")
+            if not (is_orphan_payload or is_stale_tmp):
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                continue
+            removed.append(name)
+        if removed:
+            metrics_registry().counter("checkpoint.gc_removed").inc(
+                len(removed)
+            )
+        return removed
 
     # ------------------------------------------------------------------
     def steps(self) -> list[int]:

@@ -260,3 +260,43 @@ class HardenedIngestor:
         self.dead_letters.clear()
         self._recent.clear()
         self._recent_set.clear()
+
+    # ------------------------------------------------------------------
+    # checkpointable state (service graceful-shutdown / resume path)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Stats, dead letters and the dedup window, JSON-serializable.
+
+        The dedup window is part of the state on purpose: resuming a
+        feed without it would stop deduplicating lines that straddle
+        the restart, breaking bit-identical resume.
+        """
+        return {
+            "version": 1,
+            "stats": {
+                f.name: getattr(self.stats, f.name)
+                for f in fields(IngestStats)
+            },
+            "recent": list(self._recent),
+            "dead_letters": [
+                [d.lineno, d.line, d.reason] for d in self.dead_letters
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        version = state.get("version")
+        if version != 1:
+            raise ConfigError(
+                f"unsupported ingest state version {version!r} (expected 1)"
+            )
+        self.reset()
+        for f in fields(IngestStats):
+            setattr(self.stats, f.name, int(state["stats"][f.name]))
+        for line in state["recent"]:
+            self._recent.append(line)
+            self._recent_set[line] = self._recent_set.get(line, 0) + 1
+        self.dead_letters.extend(
+            DeadLetter(lineno=int(n), line=str(line), reason=str(reason))
+            for n, line, reason in state["dead_letters"]
+        )

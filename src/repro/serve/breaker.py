@@ -1,0 +1,165 @@
+"""Per-shard circuit breaker over the scoring path.
+
+A shard whose model scoring keeps failing (poisoned episode, corrupted
+weights, pathological input) must not burn its whole time budget
+re-raising: the breaker watches consecutive scoring faults and, past a
+threshold, **opens** — routing the shard's monitor into the existing
+degraded-mode path (events still buffered, scoring skipped) for a
+cooldown measured in queue items.  After the cooldown it goes
+**half-open**, letting scoring attempts through again; a configured run
+of successes closes it, a single fault re-opens it.
+
+The breaker is deliberately clock-free: state advances per unit of work
+(queue items), so chaos-soak assertions about its trajectory are
+deterministic and independent of scheduler timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..obs import metrics_registry
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+#: Gauge encoding of the breaker state (Prometheus-friendly).
+_STATE_CODES = {"closed": 0.0, "open": 1.0, "half-open": 2.0}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds of one circuit breaker.
+
+    Attributes
+    ----------
+    fail_threshold:
+        Consecutive scoring faults that open the breaker.
+    cooldown_items:
+        Queue items processed in the open state before it half-opens.
+    half_open_successes:
+        Successful scorings in the half-open state that close it.
+    """
+
+    fail_threshold: int = 5
+    cooldown_items: int = 64
+    half_open_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ConfigError(
+                f"fail_threshold must be >= 1, got {self.fail_threshold}"
+            )
+        if self.cooldown_items < 1:
+            raise ConfigError(
+                f"cooldown_items must be >= 1, got {self.cooldown_items}"
+            )
+        if self.half_open_successes < 1:
+            raise ConfigError(
+                "half_open_successes must be >= 1, got "
+                f"{self.half_open_successes}"
+            )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine over scoring outcomes."""
+
+    def __init__(
+        self, config: BreakerConfig | None = None, *, name: str = "shard"
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.name = name
+        self.state = "closed"
+        self.opened_total = 0
+        self._consecutive_faults = 0
+        self._cooldown_left = 0
+        self._half_open_successes = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether scoring may run for the next unit of work.
+
+        Advances the open-state cooldown as a side effect: each denied
+        unit of work brings the breaker one item closer to half-open.
+        """
+        if self.state != "open":
+            return True
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self._set_state("half-open")
+            self._half_open_successes = 0
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A scoring attempt succeeded."""
+        if self.state == "half-open":
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.config.half_open_successes:
+                self._set_state("closed")
+                self._consecutive_faults = 0
+        else:
+            self._consecutive_faults = 0
+
+    def record_fault(self) -> None:
+        """A scoring attempt failed (degraded skip)."""
+        if self.state == "half-open":
+            self._open()
+            return
+        self._consecutive_faults += 1
+        if self.state == "closed" and (
+            self._consecutive_faults >= self.config.fail_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._set_state("open")
+        self.opened_total += 1
+        self._cooldown_left = self.config.cooldown_items
+        self._consecutive_faults = 0
+        metrics_registry().counter(f"serve.{self.name}.breaker_opened").inc()
+
+    def _set_state(self, state: str) -> None:
+        self.state = state
+        metrics_registry().gauge(f"serve.{self.name}.breaker_state").set(
+            _STATE_CODES[state]
+        )
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Operator-facing snapshot for the health endpoint."""
+        return {
+            "state": self.state,
+            "opened_total": self.opened_total,
+            "consecutive_faults": self._consecutive_faults,
+            "cooldown_left": self._cooldown_left if self.state == "open" else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # checkpointable state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The full state machine position, JSON-serializable."""
+        return {
+            "version": 1,
+            "state": self.state,
+            "opened_total": self.opened_total,
+            "consecutive_faults": self._consecutive_faults,
+            "cooldown_left": self._cooldown_left,
+            "half_open_successes": self._half_open_successes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        version = state.get("version")
+        if version != 1:
+            raise ConfigError(
+                f"unsupported breaker state version {version!r} (expected 1)"
+            )
+        if state["state"] not in _STATE_CODES:
+            raise ConfigError(f"unknown breaker state {state['state']!r}")
+        self.state = str(state["state"])
+        self.opened_total = int(state["opened_total"])
+        self._consecutive_faults = int(state["consecutive_faults"])
+        self._cooldown_left = int(state["cooldown_left"])
+        self._half_open_successes = int(state["half_open_successes"])

@@ -1,0 +1,55 @@
+"""Shard routing: stable hash placement of nodes onto shard workers.
+
+The service partitions :class:`~repro.core.monitor.StreamingMonitor`
+state across shards so thousands of nodes can be tracked without one
+giant LRU table and so shard workers can fail (and be restarted)
+independently.  Routing must therefore be
+
+* **stable** — the same node always lands on the same shard, across
+  runs *and* processes, so a checkpoint-resumed service finds each
+  node's open episodes in the shard that owns them; and
+* **hash-seed independent** — Python's builtin ``hash()`` is salted per
+  process (``PYTHONHASHSEED``), so the router hashes with BLAKE2b over
+  the routing key instead.
+
+Lines are routed by their *source token* (the second whitespace field:
+the node id, or the service host for system-level lines), which is
+exactly the key the per-shard monitors bucket episodes by.  Lines too
+mangled to carry a source token hash as a whole; the shard's hardened
+ingestor quarantines them on arrival.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import ConfigError
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Deterministic key → shard placement for a fixed shard count."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    def shard_of_key(self, key: str) -> int:
+        """The shard index owning *key* (stable across processes)."""
+        digest = hashlib.blake2b(
+            key.encode("utf-8", "replace"), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+    def shard_of_line(self, line: str) -> int:
+        """Route a raw log line by its source token (second field).
+
+        Falls back to hashing the whole line when no second field
+        exists — such lines are unparseable anyway and only need *a*
+        shard to be quarantined in.
+        """
+        parts = line.split(None, 2)
+        key = parts[1] if len(parts) >= 2 else line
+        return self.shard_of_key(key)

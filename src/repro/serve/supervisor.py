@@ -1,0 +1,225 @@
+"""Worker supervision: restart crashed shard workers with backoff.
+
+The supervisor owns one long-running task per shard worker.  A worker
+that raises is *contained*: the exception is recorded, the restart
+counter advances, and the worker coroutine is re-entered after an
+exponential-backoff delay with deterministic jitter (drawn from a
+seeded :class:`numpy.random.Generator`, per the repo's RNG discipline).
+Because the shard's monitor state and queue live *outside* the worker
+task, a restart loses nothing: the peek/commit queue contract replays
+the in-flight item and processing resumes bit-identically.
+
+Recovery time — crash to first successfully committed item after the
+restart — is measured inside the supervisor and exported through the
+``serve.recovery_seconds`` histogram; the chaos soak asserts its
+maximum against the documented SLO.
+
+A worker that keeps crashing without ever committing an item is given
+up on after ``max_restarts`` consecutive failures (0 = never), leaving
+the remaining shards serving; its queue is closed so producers shed
+instead of filling a dead queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..obs import metrics_registry
+from ..rng import derive_seed
+
+__all__ = ["RestartPolicy", "WorkerState", "Supervisor"]
+
+#: Bucket bounds (seconds) for the recovery-time histogram: 1 ms – 60 s.
+_RECOVERY_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff and give-up rules for crashed workers.
+
+    The restart delay after the *n*-th consecutive failure is
+    ``min(max_delay, base_delay * 2**(n-1))`` stretched by up to
+    ``jitter`` (a fraction, drawn deterministically), so a crash storm
+    across shards de-synchronizes instead of thundering back together.
+    """
+
+    base_delay: float = 0.02
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    max_restarts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0:
+            raise ConfigError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.max_delay < self.base_delay:
+            raise ConfigError(
+                f"max_delay must be >= base_delay, got {self.max_delay}"
+            )
+        if self.jitter < 0:
+            raise ConfigError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_restarts < 0:
+            raise ConfigError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+    def delay(self, consecutive_failures: int, rng: np.random.Generator) -> float:
+        """The backoff delay after this many consecutive failures."""
+        if consecutive_failures < 1:
+            return 0.0
+        base = min(
+            self.max_delay,
+            self.base_delay * (2.0 ** (consecutive_failures - 1)),
+        )
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+@dataclass
+class WorkerState:
+    """Supervision bookkeeping of one shard worker."""
+
+    restarts: int = 0
+    consecutive_failures: int = 0
+    running: bool = False
+    failed: bool = False
+    last_error: Optional[str] = None
+    last_delay: float = 0.0
+    recovery_times: list = field(default_factory=list)
+    _crash_clock: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        """Operator-facing snapshot for the health endpoint."""
+        return {
+            "running": self.running,
+            "failed": self.failed,
+            "restarts": self.restarts,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "last_delay": self.last_delay,
+            "recovery_times": list(self.recovery_times),
+        }
+
+
+class Supervisor:
+    """Keep *num_workers* shard workers alive across crashes.
+
+    ``worker_main`` is an async callable taking the worker index; it is
+    expected to run forever (returning cleanly stops supervision of
+    that worker).  ``on_give_up`` is invoked with the worker index when
+    ``max_restarts`` consecutive failures exhaust the policy.
+    """
+
+    def __init__(
+        self,
+        worker_main: Callable[[int], Awaitable[None]],
+        num_workers: int,
+        *,
+        policy: RestartPolicy | None = None,
+        seed: int = 0,
+        on_give_up: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.states = [WorkerState() for _ in range(num_workers)]
+        self._worker_main = worker_main
+        self._on_give_up = on_give_up
+        self._rng = np.random.default_rng(derive_seed(seed, "serve.supervisor"))
+        self._tasks: list[asyncio.Task] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Launch one supervised task per worker."""
+        if self._tasks:
+            raise ConfigError("supervisor already started")
+        self._stopping = False
+        self._tasks = [
+            asyncio.ensure_future(self._run(index))
+            for index in range(len(self.states))
+        ]
+
+    async def _run(self, index: int) -> None:
+        state = self.states[index]
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            state.running = True
+            try:
+                await self._worker_main(index)
+                state.running = False
+                return  # clean exit: the worker chose to stop
+            except asyncio.CancelledError:
+                state.running = False
+                raise
+            except Exception as exc:  # deshlint: allow[R4] supervision boundary: any worker crash must be contained and restarted, never propagated out of the service
+                state.running = False
+                state.restarts += 1
+                state.consecutive_failures += 1
+                state.last_error = f"{type(exc).__name__}: {exc}"
+                state._crash_clock = loop.time()
+                metrics_registry().counter("serve.worker_restarts").inc()
+                if (
+                    self.policy.max_restarts
+                    and state.consecutive_failures > self.policy.max_restarts
+                ):
+                    state.failed = True
+                    metrics_registry().counter("serve.workers_given_up").inc()
+                    if self._on_give_up is not None:
+                        self._on_give_up(index)
+                    return
+                state.last_delay = self.policy.delay(
+                    state.consecutive_failures, self._rng
+                )
+                if state.last_delay > 0:
+                    await asyncio.sleep(state.last_delay)
+
+    # ------------------------------------------------------------------
+    def note_progress(self, index: int) -> None:
+        """The worker committed an item: reset backoff, close recovery.
+
+        The first committed item after a crash ends that crash's
+        recovery interval; the measured time feeds the
+        ``serve.recovery_seconds`` histogram and the soak SLO check.
+        """
+        state = self.states[index]
+        state.consecutive_failures = 0
+        if state._crash_clock is not None:
+            recovery = asyncio.get_running_loop().time() - state._crash_clock
+            state._crash_clock = None
+            state.recovery_times.append(recovery)
+            metrics_registry().histogram(
+                "serve.recovery_seconds", _RECOVERY_BUCKETS
+            ).observe(recovery)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_restarts(self) -> int:
+        """Restarts across all workers since start."""
+        return sum(state.restarts for state in self.states)
+
+    def recovery_times(self) -> list[float]:
+        """Every measured crash-to-recovery interval, in seconds."""
+        out: list[float] = []
+        for state in self.states:
+            out.extend(state.recovery_times)
+        return out
+
+    async def stop(self) -> None:
+        """Cancel all worker tasks and wait for them to unwind."""
+        self._stopping = True
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        for state in self.states:
+            state.running = False

@@ -22,11 +22,35 @@ def lines(small_log):
 
 class TestFaultProfile:
     def test_named_profiles_exist(self):
-        assert set(FAULT_PROFILES) == {"none", "mild", "moderate", "severe"}
+        assert set(FAULT_PROFILES) == {
+            "none",
+            "mild",
+            "moderate",
+            "severe",
+            "service-crash",
+            "service-storm",
+        }
 
     def test_none_profile_is_null(self):
         assert FAULT_PROFILES["none"].is_null()
         assert not FAULT_PROFILES["moderate"].is_null()
+        assert not FAULT_PROFILES["service-crash"].is_null()
+
+    def test_line_vs_service_fault_split(self):
+        # service-crash touches only the workers, never the data — the
+        # precondition for the soak's bit-identity assertion.
+        assert not FAULT_PROFILES["service-crash"].has_line_faults()
+        assert FAULT_PROFILES["service-storm"].has_line_faults()
+        assert FAULT_PROFILES["moderate"].has_line_faults()
+        assert not FAULT_PROFILES["none"].has_line_faults()
+
+    def test_rejects_bad_service_fault_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultProfile(crash_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultProfile(stall_seconds=-0.1)
+        with pytest.raises(ConfigError):
+            FaultProfile(burst_factor=0)
 
     def test_rejects_bad_rate(self):
         with pytest.raises(ConfigError):
@@ -111,6 +135,54 @@ class TestChaosInjector:
         injector = ChaosInjector(FAULT_PROFILES["none"], seed=0)
         out = list(injector.inject_records(records))
         assert out == [render_line(r) for r in records]
+
+
+class TestServiceFaults:
+    def test_deterministic_for_same_seed(self):
+        profile = FAULT_PROFILES["service-storm"]
+        a = [ChaosInjector(profile, seed=11).service_faults() for _ in range(1)]
+        first = ChaosInjector(profile, seed=11)
+        second = ChaosInjector(profile, seed=11)
+        draws_a = [first.service_faults() for _ in range(200)]
+        draws_b = [second.service_faults() for _ in range(200)]
+        assert draws_a == draws_b
+        assert a  # the single-draw list above is also deterministic
+
+    def test_independent_of_line_fault_stream(self, lines):
+        # Consuming line faults must not perturb the service-fault
+        # decisions (separate derived RNG streams).
+        profile = FAULT_PROFILES["service-storm"]
+        plain = ChaosInjector(profile, seed=12)
+        interleaved = ChaosInjector(profile, seed=12)
+        list(interleaved.inject(lines[:500]))
+        draws_plain = [plain.service_faults() for _ in range(100)]
+        draws_inter = [interleaved.service_faults() for _ in range(100)]
+        assert draws_plain == draws_inter
+
+    def test_rates_are_roughly_honored_and_counted(self):
+        profile = FaultProfile(
+            crash_rate=0.2, stall_rate=0.1, stall_seconds=0.5,
+            burst_rate=0.3, burst_factor=4,
+        )
+        injector = ChaosInjector(profile, seed=13)
+        draws = [injector.service_faults() for _ in range(1000)]
+        crashes = sum(1 for d in draws if d.crash)
+        stalls = sum(1 for d in draws if d.stall_seconds > 0)
+        bursts = sum(1 for d in draws if d.burst_factor > 1)
+        assert 100 <= crashes <= 320
+        assert 40 <= stalls <= 190
+        assert 180 <= bursts <= 440
+        s = injector.stats
+        assert (s.crashes_injected, s.stalls_injected, s.bursts_injected) == (
+            crashes, stalls, bursts,
+        )
+        assert s.faults_applied >= crashes + stalls + bursts
+
+    def test_null_profile_never_faults(self):
+        injector = ChaosInjector(FAULT_PROFILES["none"], seed=14)
+        assert all(
+            injector.service_faults().is_null() for _ in range(100)
+        )
 
 
 @pytest.mark.chaos

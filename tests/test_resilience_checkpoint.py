@@ -50,6 +50,37 @@ class TestCheckpointManager:
         kept = sorted(p.name for p in tmp_path.glob("ckpt-*.npz"))
         assert kept == ["ckpt-00000003.npz", "ckpt-00000004.npz"]
 
+    def test_gc_removes_orphaned_payloads_and_tmp_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        manager.save(1, _arrays(1.0), {"epoch": 1})
+        manager.save(2, _arrays(2.0), {"epoch": 2})
+        # Simulate a crash between payload write and manifest update,
+        # plus a stale tmp from an interrupted atomic write.
+        orphan = tmp_path / "ckpt-00000099.npz"
+        orphan.write_bytes(b"orphaned payload")
+        stale = tmp_path / "ckpt-00000100.npz.tmp"
+        stale.write_bytes(b"half-written")
+        removed = manager.gc()
+        assert sorted(removed) == ["ckpt-00000099.npz", "ckpt-00000100.npz.tmp"]
+        assert not orphan.exists() and not stale.exists()
+        # Every live checkpoint survives GC and stays loadable.
+        step, arrays, _ = manager.load_latest()
+        assert step == 2
+        assert arrays["w"][0, 0] == 2.0
+
+    def test_save_runs_gc_automatically(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        orphan = tmp_path / "ckpt-00000077.npz"
+        tmp_path.mkdir(exist_ok=True)
+        orphan.write_bytes(b"leftover")
+        manager.save(1, _arrays(), {"epoch": 1})
+        assert not orphan.exists()
+        assert manager.load_latest()[0] == 1
+
+    def test_gc_on_missing_directory_is_noop(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "never-created")
+        assert manager.gc() == []
+
     def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
         manager = CheckpointManager(tmp_path, keep=2)
         manager.save(1, _arrays(1.0), {"epoch": 1})

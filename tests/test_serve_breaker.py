@@ -1,0 +1,101 @@
+"""Tests for the per-shard circuit breaker state machine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import BreakerConfig, CircuitBreaker
+
+
+@pytest.fixture
+def breaker():
+    return CircuitBreaker(
+        BreakerConfig(fail_threshold=3, cooldown_items=4, half_open_successes=2)
+    )
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_faults(self, breaker):
+        breaker.record_fault()
+        breaker.record_fault()
+        assert breaker.state == "closed"
+        breaker.record_fault()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 1
+
+    def test_success_resets_fault_run(self, breaker):
+        breaker.record_fault()
+        breaker.record_fault()
+        breaker.record_success()
+        breaker.record_fault()
+        breaker.record_fault()
+        assert breaker.state == "closed"  # run was broken by the success
+
+    def test_open_denies_for_cooldown_then_half_opens(self, breaker):
+        for _ in range(3):
+            breaker.record_fault()
+        assert breaker.state == "open"
+        denied = [breaker.allow() for _ in range(3)]
+        assert denied == [False, False, False]
+        assert breaker.allow()  # 4th item: cooldown elapsed, half-open
+        assert breaker.state == "half-open"
+
+    def test_half_open_closes_after_successes(self, breaker):
+        for _ in range(3):
+            breaker.record_fault()
+        for _ in range(4):
+            breaker.allow()
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_fault_reopens_immediately(self, breaker):
+        for _ in range(3):
+            breaker.record_fault()
+        for _ in range(4):
+            breaker.allow()
+        assert breaker.state == "half-open"
+        breaker.record_fault()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 2
+
+    def test_as_dict_shape(self, breaker):
+        snapshot = breaker.as_dict()
+        assert snapshot["state"] == "closed"
+        assert snapshot["opened_total"] == 0
+        assert snapshot["cooldown_left"] == 0
+
+    def test_state_dict_round_trip_mid_cooldown(self, breaker):
+        for _ in range(3):
+            breaker.record_fault()
+        breaker.allow()  # one cooldown item consumed
+        restored = CircuitBreaker(
+            BreakerConfig(
+                fail_threshold=3, cooldown_items=4, half_open_successes=2
+            )
+        )
+        restored.load_state_dict(breaker.state_dict())
+        assert restored.state == "open"
+        # Remaining cooldown must match: 3 more denials, then half-open.
+        assert [restored.allow() for _ in range(3)] == [False, False, True]
+
+    def test_load_rejects_bad_version_and_state(self, breaker):
+        with pytest.raises(ConfigError):
+            breaker.load_state_dict({"version": 2})
+        bad = breaker.state_dict()
+        bad["state"] = "exploded"
+        with pytest.raises(ConfigError):
+            breaker.load_state_dict(bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BreakerConfig(fail_threshold=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(cooldown_items=0)
+        with pytest.raises(ConfigError):
+            BreakerConfig(half_open_successes=0)

@@ -1,0 +1,163 @@
+"""Tests for worker supervision: restarts, backoff, give-up, recovery."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, InjectedFaultError
+from repro.serve import RestartPolicy, Supervisor
+
+
+class TestRestartPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RestartPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(n, rng) for n in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stretches_within_bound(self):
+        policy = RestartPolicy(base_delay=0.1, max_delay=1.0, jitter=0.5)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            delay = policy.delay(1, rng)
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_zero_failures_means_no_delay(self):
+        policy = RestartPolicy()
+        assert policy.delay(0, np.random.default_rng(0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RestartPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigError):
+            RestartPolicy(base_delay=1.0, max_delay=0.5)
+        with pytest.raises(ConfigError):
+            RestartPolicy(jitter=-0.1)
+        with pytest.raises(ConfigError):
+            RestartPolicy(max_restarts=-1)
+
+
+class TestSupervisor:
+    def test_restarts_crashing_worker_until_it_settles(self):
+        async def run():
+            crashes_left = [3]
+            done = asyncio.Event()
+
+            async def worker(_index):
+                if crashes_left[0] > 0:
+                    crashes_left[0] -= 1
+                    raise InjectedFaultError("injected crash")
+                done.set()
+
+            supervisor = Supervisor(
+                worker, 1, policy=RestartPolicy(base_delay=0.001, jitter=0.0)
+            )
+            await supervisor.start()
+            await asyncio.wait_for(done.wait(), 5.0)
+            await supervisor.stop()
+            return supervisor
+
+        supervisor = asyncio.run(run())
+        assert supervisor.total_restarts == 3
+        assert supervisor.states[0].last_error is not None
+        assert "injected crash" in supervisor.states[0].last_error
+        assert not supervisor.states[0].failed
+
+    def test_gives_up_after_max_restarts_and_calls_hook(self):
+        async def run():
+            given_up = []
+
+            async def worker(_index):
+                raise InjectedFaultError("always crashing")
+
+            supervisor = Supervisor(
+                worker,
+                1,
+                policy=RestartPolicy(
+                    base_delay=0.001, jitter=0.0, max_restarts=2
+                ),
+                on_give_up=given_up.append,
+            )
+            await supervisor.start()
+            for _ in range(200):
+                if supervisor.states[0].failed:
+                    break
+                await asyncio.sleep(0.01)
+            await supervisor.stop()
+            return supervisor, given_up
+
+        supervisor, given_up = asyncio.run(run())
+        assert supervisor.states[0].failed
+        assert given_up == [0]
+        # 2 tolerated restarts + the failure that exhausted the budget.
+        assert supervisor.states[0].restarts == 3
+
+    def test_note_progress_resets_backoff_and_records_recovery(self):
+        async def run():
+            first = [True]
+            processed = asyncio.Event()
+
+            async def worker(index):
+                if first[0]:
+                    first[0] = False
+                    raise InjectedFaultError("one crash")
+                supervisor.note_progress(index)
+                processed.set()
+                await asyncio.sleep(3600)
+
+            supervisor = Supervisor(
+                worker, 1, policy=RestartPolicy(base_delay=0.001, jitter=0.0)
+            )
+            await supervisor.start()
+            await asyncio.wait_for(processed.wait(), 5.0)
+            await supervisor.stop()
+            return supervisor
+
+        supervisor = asyncio.run(run())
+        state = supervisor.states[0]
+        assert state.consecutive_failures == 0
+        assert len(state.recovery_times) == 1
+        assert 0.0 < state.recovery_times[0] < 5.0
+        assert supervisor.recovery_times() == state.recovery_times
+
+    def test_clean_worker_exit_stops_supervision(self):
+        async def run():
+            ran = []
+
+            async def worker(index):
+                ran.append(index)
+
+            supervisor = Supervisor(worker, 2)
+            await supervisor.start()
+            await asyncio.sleep(0.05)
+            await supervisor.stop()
+            return supervisor, ran
+
+        supervisor, ran = asyncio.run(run())
+        assert sorted(ran) == [0, 1]
+        assert supervisor.total_restarts == 0
+
+    def test_deterministic_jitter_across_supervisors(self):
+        a = Supervisor(lambda i: None, 1, seed=42)
+        b = Supervisor(lambda i: None, 1, seed=42)
+        policy = RestartPolicy(base_delay=0.1, jitter=0.5)
+        draws_a = [policy.delay(1, a._rng) for _ in range(10)]
+        draws_b = [policy.delay(1, b._rng) for _ in range(10)]
+        assert draws_a == draws_b
+
+    def test_rejects_zero_workers_and_double_start(self):
+        with pytest.raises(ConfigError):
+            Supervisor(lambda i: None, 0)
+
+        async def run():
+            async def worker(_index):
+                await asyncio.sleep(3600)
+
+            supervisor = Supervisor(worker, 1)
+            await supervisor.start()
+            with pytest.raises(ConfigError):
+                await supervisor.start()
+            await supervisor.stop()
+
+        asyncio.run(run())
