@@ -26,7 +26,12 @@ from .evaluation import (
 from .leadtime import LeadTimeStats, lead_times_by_class, lead_time_overall
 from .sensitivity import SensitivityPoint, sensitivity_sweep
 from .unknown import UnknownPhraseStats, unknown_phrase_analysis, sequence_examples
-from .cost import CostSample, measure_prediction_cost
+from .cost import (
+    CostSample,
+    ThroughputSample,
+    measure_batch_throughput,
+    measure_prediction_cost,
+)
 from .recovery import RecoveryAction, PAPER_ACTIONS, recovery_feasibility
 from .spatial import SpatialCorrelation, spatial_correlation
 from .curves import OperatingPoint, threshold_curve, trapezoid_auc
@@ -52,6 +57,8 @@ __all__ = [
     "unknown_phrase_analysis",
     "sequence_examples",
     "CostSample",
+    "ThroughputSample",
+    "measure_batch_throughput",
     "measure_prediction_cost",
     "RecoveryAction",
     "PAPER_ACTIONS",

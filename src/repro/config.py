@@ -171,6 +171,10 @@ class Phase3Config:
     suppresses single-event coincidences without shortening lead times.
     This is the sequence-level anomaly rule that distinguishes Desh from
     DeepLog's per-entry detection (Section 4.5).
+    ``scoring_batch`` — ceiling on windows per LSTM call in the batched
+    scoring path; larger flushes are chunked to bound the working set
+    (chunking never changes scores — chunk boundaries avoid single-row
+    GEMMs, so rows round identically regardless of chunk layout).
     """
 
     mse_threshold: float = 2.0
@@ -179,6 +183,7 @@ class Phase3Config:
     min_chain_events: int = 2
     max_suffix_skip: int = 3
     confirmation_windows: int = 2
+    scoring_batch: int = 256
 
     def __post_init__(self) -> None:
         validate_positive("mse_threshold", self.mse_threshold)
@@ -187,6 +192,10 @@ class Phase3Config:
         validate_positive("min_chain_events", self.min_chain_events)
         validate_positive("max_suffix_skip", self.max_suffix_skip, allow_zero=True)
         validate_positive("confirmation_windows", self.confirmation_windows)
+        if self.scoring_batch < 2:
+            raise ConfigError(
+                f"scoring_batch must be >= 2, got {self.scoring_batch}"
+            )
 
 
 @dataclass(frozen=True)

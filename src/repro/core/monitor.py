@@ -34,15 +34,36 @@ The monitor is hardened for unattended production use:
   through — and can snapshot/restore the complete mutable state
   (:meth:`state_dict` / :meth:`load_state_dict`) for bit-identical
   checkpoint resume.
+
+Feeding is **batch-major**: :meth:`feed_batch` accumulates a batch of
+records' pending per-node updates and flushes them through *one* batched
+LSTM forward (:meth:`Phase3Predictor.score_partial_batch`) instead of
+one forward per record.  :meth:`feed` is the batch of one.  The batched
+flush is engineered to be observably identical to sequential feeding —
+same scores bit for bit, same warning order, same counters, same health
+transitions, same ``state_dict`` — see the module's flush notes below.
+
+Flush design: buffer mutations (LRU touch/evict, gap close, event-cap
+drop, append, eager terminal close) are applied immediately at submit
+time, because a record's buffer snapshot depends only on *earlier*
+records — exactly as in sequential feeding.  Mutations of the per-node
+alert latch and the health-status machine are *deferred* into an ordered
+operation list replayed at flush time, because a latch add depends on a
+scoring outcome.  Which units to score is decided with a "surely
+latched" preview set (the latch set with only the batch's discards
+applied): a node already latched under discards-only stays latched under
+any interleaving of adds, so it is provably skipped; every other unit is
+scored speculatively in the batched forward and its result dropped at
+replay if an earlier record's flag latched the node first.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
-from ..errors import ConfigError, PredictionError
+from ..errors import ConfigError, IngestError, PredictionError
 from ..events import Label, ParsedEvent
 from ..obs import metrics_registry
 from ..simlog.record import LogRecord
@@ -50,7 +71,7 @@ from ..topology.cray import CrayNodeId
 from .alerts import FailureWarning
 from .desh import DeshModel
 
-__all__ = ["StreamingMonitor", "MonitorHealth"]
+__all__ = ["FeedOutcome", "StreamingMonitor", "MonitorHealth"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +113,24 @@ class MonitorHealth:
         if self.ingest is not None:
             out["ingest"] = self.ingest
         return out
+
+
+@dataclass(frozen=True)
+class FeedOutcome:
+    """Per-record result of a batched feed.
+
+    ``attempted`` mirrors the sequential path's ``scores_attempted``
+    increment for this record, ``skipped`` its ``degraded_skips``
+    increment; the serving layer replays circuit-breaker bookkeeping
+    from these instead of diffing monitor counters around each call.
+    ``ingest_error`` is set (and the record not fed) when the raw-line
+    path quarantined the line past its error budget.
+    """
+
+    warning: Optional[FailureWarning] = None
+    attempted: bool = False
+    skipped: bool = False
+    ingest_error: Optional[IngestError] = None
 
 
 class StreamingMonitor:
@@ -166,47 +205,139 @@ class StreamingMonitor:
         scoring failure (:class:`~repro.errors.PredictionError`) is
         converted into a counted degraded-mode skip — the monitor keeps
         serving every other node.
+
+        This is the batch of one: all semantics live in
+        :meth:`feed_batch`, so single-record and batched feeding cannot
+        drift apart.
         """
-        self.records_seen += 1
-        metrics_registry().counter("monitor.records").inc()
-        event = self.model.parser.encode(record)
-        if event is None or event.node is None or event.label == Label.SAFE:
-            return None
-        buf = self._touch(event.node)
-        if buf and event.timestamp - buf[-1].timestamp > self.gap:
-            buf.clear()
-            self._alerted.discard(event.node)
-            self.episodes_closed += 1
-        if len(buf) >= self.max_events_per_node:
-            del buf[0]
-            self.events_evicted += 1
-        buf.append(event)
-        if self.degraded_mode:
-            # Forced degraded path (tripped circuit breaker): keep
-            # buffering so episodes stay warm, but skip scoring.
-            self.degraded_skips += 1
-            metrics_registry().counter("monitor.degraded_skips").inc()
-            self._note_skip()
-            warning = None
-        else:
-            self.scores_attempted += 1
-            try:
-                warning = self._maybe_alert(event, buf)
-            except PredictionError:
+        return self.feed_batch([record])[0].warning
+
+    def feed_batch(self, records: "Sequence[LogRecord]") -> "list[FeedOutcome]":
+        """Consume a batch of records through one batched scoring flush.
+
+        Observably identical to calling :meth:`feed` on each record in
+        order (same warnings, counters, buffers, latches, and health
+        transitions — scores bit for bit), but all scoreable pending
+        updates run through a single
+        :meth:`~repro.core.phase3.Phase3Predictor.score_partial_batch`
+        forward.  See the module docstring for the submit/replay design.
+        """
+        registry = metrics_registry()
+        outcomes: "list[FeedOutcome]" = [FeedOutcome()] * len(records)
+        # Deferred alert-latch / health-machine operations, in record
+        # order.  Forms: ("discard", node), ("skip",), ("latched",),
+        # and ("score", outcome_index, node, event, snapshot, unit_index).
+        ops: "list[tuple]" = []
+        units: "list[tuple[ParsedEvent, ...]]" = []
+        # The latch set as it would look with only this batch's discards
+        # applied — the provably-still-latched preview (adds only ever
+        # grow the set, so membership here means a guaranteed skip).
+        preview = set(self._alerted)
+        for index, record in enumerate(records):
+            self.records_seen += 1
+            registry.counter("monitor.records").inc()
+            event = self.model.parser.encode(record)
+            if event is None or event.node is None or event.label == Label.SAFE:
+                continue
+            node = event.node
+            buf, evicted = self._touch(node)
+            for cold in evicted:
+                ops.append(("discard", cold))
+                preview.discard(cold)
+            if buf and event.timestamp - buf[-1].timestamp > self.gap:
+                buf.clear()
+                ops.append(("discard", node))
+                preview.discard(node)
+                self.episodes_closed += 1
+            if len(buf) >= self.max_events_per_node:
+                del buf[0]
+                self.events_evicted += 1
+            buf.append(event)
+            if self.degraded_mode:
+                # Forced degraded path (tripped circuit breaker): keep
+                # buffering so episodes stay warm, but skip scoring.
                 self.degraded_skips += 1
-                metrics_registry().counter("monitor.degraded_skips").inc()
-                self._note_skip()
-                warning = None
+                registry.counter("monitor.degraded_skips").inc()
+                ops.append(("skip",))
+                outcomes[index] = FeedOutcome(skipped=True)
             else:
+                self.scores_attempted += 1
+                outcomes[index] = FeedOutcome(attempted=True)
+                if node in preview:
+                    # Latched even before any of this batch's flags can
+                    # land: the sequential path would early-return from
+                    # its alert check and note a success.
+                    ops.append(("latched",))
+                else:
+                    ops.append(("score", index, node, event, tuple(buf), len(units)))
+                    units.append(tuple(buf))
+            if event.terminal:
+                # Close terminal episodes eagerly: the node went down, so
+                # its next record necessarily starts a fresh episode, and
+                # pending_nodes() must not report the dead episode as open.
+                self._buffers.pop(node, None)
+                ops.append(("discard", node))
+                preview.discard(node)
+                self.episodes_closed += 1
+        if units:
+            scores = self.model.predictor.score_partial_batch(units)
+        else:
+            scores = []
+        for op in ops:
+            kind = op[0]
+            if kind == "discard":
+                self._alerted.discard(op[1])
+            elif kind == "skip":
+                self._note_skip()
+            elif kind == "latched":
                 self._note_success()
-        if event.terminal:
-            # Close terminal episodes eagerly: the node went down, so
-            # its next record necessarily starts a fresh episode, and
-            # pending_nodes() must not report the dead episode as open.
-            self._buffers.pop(event.node, None)
-            self._alerted.discard(event.node)
-            self.episodes_closed += 1
-        return warning
+            else:
+                index, node, event, snapshot, unit_index = op[1:]
+                if node in self._alerted:
+                    # An earlier record in this batch latched the node
+                    # first; its speculative score is dropped, exactly
+                    # like the sequential early return.
+                    self._note_success()
+                    continue
+                result = scores[unit_index]
+                if result.error is not None:
+                    self.degraded_skips += 1
+                    registry.counter("monitor.degraded_skips").inc()
+                    self._note_skip()
+                    outcomes[index] = FeedOutcome(attempted=True, skipped=True)
+                    continue
+                try:
+                    warning = None
+                    if result.flagged:
+                        self._alerted.add(node)
+                        self.warnings_raised += 1
+                        registry.counter("monitor.warnings").inc()
+                        likely = None
+                        if self.model.classifier is not None:
+                            from .chains import Episode
+
+                            likely = self.model.classifier.classify(
+                                Episode(node, snapshot)
+                            ).value
+                        warning = FailureWarning(
+                            node=node,
+                            decision_time=event.timestamp,
+                            lead_seconds=result.lead_seconds,
+                            mse=result.mse,
+                            likely_class=likely,
+                        )
+                except PredictionError:
+                    self.degraded_skips += 1
+                    registry.counter("monitor.degraded_skips").inc()
+                    self._note_skip()
+                    outcomes[index] = FeedOutcome(attempted=True, skipped=True)
+                else:
+                    self._note_success()
+                    if warning is not None:
+                        outcomes[index] = FeedOutcome(
+                            warning=warning, attempted=True
+                        )
+        return outcomes
 
     def _note_skip(self) -> None:
         """A scoring opportunity was skipped: enter the degraded status."""
@@ -225,51 +356,50 @@ class StreamingMonitor:
         """Coarse health state: ``healthy`` / ``degraded`` / ``recovered``."""
         return self._status
 
-    def _touch(self, node: CrayNodeId) -> list[ParsedEvent]:
-        """LRU-access *node*'s buffer, evicting the coldest at capacity."""
+    def _touch(
+        self, node: CrayNodeId
+    ) -> "tuple[list[ParsedEvent], list[CrayNodeId]]":
+        """LRU-access *node*'s buffer, evicting the coldest at capacity.
+
+        Returns the buffer and the evicted nodes; the caller owns the
+        corresponding alert-latch discards (they are replayed in record
+        order by the batched flush).
+        """
+        evicted: "list[CrayNodeId]" = []
         buf = self._buffers.get(node)
         if buf is None:
             while len(self._buffers) >= self.max_nodes:
-                evicted, _ = self._buffers.popitem(last=False)
-                self._alerted.discard(evicted)
+                cold, _ = self._buffers.popitem(last=False)
+                evicted.append(cold)
                 self.nodes_evicted += 1
             buf = self._buffers[node] = []
         else:
             self._buffers.move_to_end(node)
-        return buf
+        return buf, evicted
 
-    def _maybe_alert(
-        self, event: ParsedEvent, buf: list[ParsedEvent]
-    ) -> Optional[FailureWarning]:
-        if event.node in self._alerted:
-            return None
-        flagged, mse, lead = self.model.predictor.score_partial(buf)
-        if not flagged:
-            return None
-        self._alerted.add(event.node)
-        self.warnings_raised += 1
-        metrics_registry().counter("monitor.warnings").inc()
-        likely = None
-        if self.model.classifier is not None:
-            from .chains import Episode
+    def run(
+        self, records: Iterable[LogRecord], *, batch_size: int = 64
+    ) -> Iterator[FailureWarning]:
+        """Generator form: yield warnings while replaying a record feed.
 
-            likely = self.model.classifier.classify(
-                Episode(event.node, tuple(buf))
-            ).value
-        return FailureWarning(
-            node=event.node,
-            decision_time=event.timestamp,
-            lead_seconds=lead,
-            mse=mse,
-            likely_class=likely,
-        )
-
-    def run(self, records: Iterable[LogRecord]) -> Iterator[FailureWarning]:
-        """Generator form: yield warnings while replaying a record feed."""
+        Records are fed in batches of *batch_size* (each batch one
+        batched scoring flush); warnings come out in the same order as
+        sequential feeding, in per-batch bursts.
+        """
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        batch: "list[LogRecord]" = []
         for record in records:
-            warning = self.feed(record)
-            if warning is not None:
-                yield warning
+            batch.append(record)
+            if len(batch) >= batch_size:
+                for outcome in self.feed_batch(batch):
+                    if outcome.warning is not None:
+                        yield outcome.warning
+                batch = []
+        if batch:
+            for outcome in self.feed_batch(batch):
+                if outcome.warning is not None:
+                    yield outcome.warning
 
     # ------------------------------------------------------------------
     # raw-line path (hardened ingest front-end)
@@ -294,12 +424,63 @@ class StreamingMonitor:
             return None
         return self.feed(record)
 
-    def run_lines(self, lines: Iterable[str]) -> Iterator[FailureWarning]:
-        """Replay a raw-line feed; yields warnings as they fire."""
+    def feed_line_batch(self, lines: "Sequence[str]") -> "list[FeedOutcome]":
+        """Consume raw lines through ingest plus one batched feed.
+
+        Equivalent to :meth:`feed_line` per line, except an over-budget
+        line is reported in its outcome's ``ingest_error`` instead of
+        raising, so one poisoned line does not abort the whole batch —
+        the caller decides (the serving shards count it and move on).
+        Ingest runs strictly in line order (dedup windows are
+        order-sensitive); surviving records flush through
+        :meth:`feed_batch`.
+        """
+        outcomes: "list[Optional[FeedOutcome]]" = [None] * len(lines)
+        records: "list[LogRecord]" = []
+        fed_indices: "list[int]" = []
+        ingestor = self._get_ingestor()
+        for index, line in enumerate(lines):
+            try:
+                record = ingestor.accept_line(line)
+            except IngestError as exc:
+                outcomes[index] = FeedOutcome(ingest_error=exc)
+                continue
+            if record is None:
+                outcomes[index] = FeedOutcome()
+                continue
+            records.append(record)
+            fed_indices.append(index)
+        for index, outcome in zip(fed_indices, self.feed_batch(records)):
+            outcomes[index] = outcome
+        return outcomes
+
+    def run_lines(
+        self, lines: Iterable[str], *, batch_size: int = 64
+    ) -> Iterator[FailureWarning]:
+        """Replay a raw-line feed in batches; yields warnings in order.
+
+        Unlike :meth:`feed_line`, over-budget ingest errors abort the
+        replay by re-raising (matching the sequential generator's
+        behavior of propagating :class:`~repro.errors.IngestError`).
+        """
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+
+        def flush(batch: "list[str]") -> Iterator[FailureWarning]:
+            for outcome in self.feed_line_batch(batch):
+                if outcome.ingest_error is not None:
+                    raise outcome.ingest_error
+                if outcome.warning is not None:
+                    yield outcome.warning
+
+        batch: "list[str]" = []
         for line in lines:
-            warning = self.feed_line(line)
-            if warning is not None:
-                yield warning
+            batch.append(line)
+            if len(batch) >= batch_size:
+                yield from flush(batch)
+                batch = []
+        if batch:
+            yield from flush(batch)
 
     # ------------------------------------------------------------------
     def health(self) -> MonitorHealth:

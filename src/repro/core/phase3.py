@@ -35,6 +35,7 @@ from ..config import Phase3Config
 from ..errors import PredictionError
 from ..obs import current_tracer, metrics_registry, obs_enabled
 from ..events import EventSequence, ParsedEvent
+from ..nn.batched import BatchedScorer
 from ..nn.data import sliding_windows_continuous
 from ..nn.model import SequenceRegressor
 from ..topology.cray import CrayNodeId
@@ -42,7 +43,12 @@ from .chains import Episode, segment_episodes
 from .deltas import LeadTimeScaler
 from .phase2 import pad_vectors
 
-__all__ = ["Phase3Predictor", "EpisodeVerdict", "FailurePrediction"]
+__all__ = [
+    "Phase3Predictor",
+    "EpisodeVerdict",
+    "FailurePrediction",
+    "PartialScore",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,25 @@ class EpisodeVerdict:
     def node(self) -> Optional[CrayNodeId]:
         """The node the scored episode belongs to."""
         return self.episode.node
+
+
+@dataclass(frozen=True)
+class PartialScore:
+    """Outcome of scoring one growing episode on the batched path.
+
+    ``error`` carries the per-unit :class:`~repro.errors.PredictionError`
+    when scoring that unit failed; callers replicate the sequential
+    path's error handling from it (the other fields are then defaults).
+    """
+
+    flagged: bool
+    mse: float
+    lead_seconds: float
+    error: Optional[PredictionError] = None
+
+    def as_tuple(self) -> "tuple[bool, float, float]":
+        """The legacy ``(flagged, mse, lead_seconds)`` triple."""
+        return self.flagged, self.mse, self.lead_seconds
 
 
 @dataclass(frozen=True)
@@ -94,6 +119,18 @@ class Phase3Predictor:
         self.scaler = scaler
         self.config = config if config is not None else Phase3Config()
         self.episode_gap = episode_gap
+        self._scorer: Optional[BatchedScorer] = None
+
+    @property
+    def scorer(self) -> BatchedScorer:
+        """The shared batch-major scoring core (built on first use)."""
+        if self._scorer is None:
+            self._scorer = BatchedScorer(
+                self.regressor,
+                self.scaler,
+                history=self.config.history_size,
+            )
+        return self._scorer
 
     # ------------------------------------------------------------------
     # offline (paper) scoring
@@ -237,6 +274,37 @@ class Phase3Predictor:
     # ------------------------------------------------------------------
     # online scoring (live-monitor extension)
     # ------------------------------------------------------------------
+    def _partial_matrix(
+        self, events: Sequence[ParsedEvent]
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Window stack and targets for one growing episode."""
+        timestamps = np.array([e.timestamp for e in events], dtype=np.float64)
+        phrase_ids = np.array([e.phrase_id for e in events], dtype=np.int64)
+        x, y, _ = self.scorer.chain_matrix(timestamps, phrase_ids)
+        return x, y
+
+    def _verdict_from(
+        self, pred: np.ndarray, y: np.ndarray
+    ) -> "tuple[bool, float, float]":
+        """Turn one unit's predictions into ``(flagged, mse, lead)``.
+
+        The lead estimate is the last window's predicted next dT decoded
+        to seconds — read off the main forward's final row instead of a
+        separate single-window call, so scoring a unit costs exactly one
+        batched forward (and the single-row GEMM whose rounding differed
+        from the batched kernel is gone entirely).
+        """
+        mses = self.scaler.mse_paper_units(pred, y)
+        best = float(np.min(mses))
+        lead = float(self.scaler.decode_lead_seconds(pred[-1, 0]))
+        return best <= self.config.mse_threshold, best, lead
+
+    def _observe_prediction(self, per_prediction_ms: float) -> None:
+        """The single ``phase3.prediction_ms`` observation site."""
+        metrics_registry().histogram("phase3.prediction_ms").observe(
+            per_prediction_ms
+        )
+
     def score_partial(
         self, events: Sequence[ParsedEvent]
     ) -> tuple[bool, float, float]:
@@ -247,21 +315,88 @@ class Phase3Predictor:
         is the model's predicted next dT decoded to seconds — how far
         ahead of the current event the model still expects chain activity
         before the terminal.
+
+        Routed through the same :class:`~repro.nn.batched.BatchedScorer`
+        kernel as :meth:`score_partial_batch`, so a unit scored alone is
+        bitwise identical to the same unit scored inside a batched flush.
         """
         cfg = self.config
         if len(events) < max(2, cfg.min_chain_events):
             return False, float("inf"), 0.0
         timed = obs_enabled()
         start = time.perf_counter() if timed else 0.0
-        timestamps = np.array([e.timestamp for e in events], dtype=np.float64)
-        phrase_ids = np.array([e.phrase_id for e in events], dtype=np.int64)
-        x, y, _ = self._episode_windows(timestamps, phrase_ids)
-        mses = self.scaler.mse_paper_units(self.regressor.predict(x), y)
-        best = float(np.min(mses))
-        pred = self.regressor.predict(x[-1:])  # next-sample forecast
-        lead = float(self.scaler.decode_lead_seconds(pred[0, 0]))
+        x, y = self._partial_matrix(events)
+        pred = self.scorer.predict_batch(x, chunk=cfg.scoring_batch)
+        flagged, best, lead = self._verdict_from(pred, y)
         if timed and len(x):
-            metrics_registry().histogram("phase3.prediction_ms").observe(
-                (time.perf_counter() - start) * 1e3 / (len(x) + 1)
+            self._observe_prediction(
+                (time.perf_counter() - start) * 1e3 / len(x)
             )
-        return best <= cfg.mse_threshold, best, lead
+        return flagged, best, lead
+
+    def score_partial_batch(
+        self, units: "Sequence[Sequence[ParsedEvent]]"
+    ) -> "list[PartialScore]":
+        """Score many growing episodes through one batched forward.
+
+        Window stacks of all scoreable units are concatenated and run as
+        one (chunked) batch-major forward; per-row bit-independence of
+        the inference kernel makes each unit's scores exactly equal to a
+        lone :meth:`score_partial` call.  Units below the minimum event
+        count return the same early-out triple the sequential path uses.
+        If the batched forward itself raises
+        :class:`~repro.errors.PredictionError`, scoring falls back to
+        per-unit sequential calls so the error is attributed to exactly
+        the unit(s) that fail, matching sequential semantics.
+
+        ``phase3.prediction_ms`` is observed once per scored unit with
+        the true per-prediction latency (batch elapsed / windows scored),
+        never the whole-batch latency.
+        """
+        cfg = self.config
+        results: "list[Optional[PartialScore]]" = [None] * len(units)
+        mats: "list[tuple[int, np.ndarray, np.ndarray]]" = []
+        for index, events in enumerate(units):
+            if len(events) < max(2, cfg.min_chain_events):
+                results[index] = PartialScore(False, float("inf"), 0.0)
+                continue
+            x, y = self._partial_matrix(events)
+            mats.append((index, x, y))
+        if not mats:
+            return results
+        timed = obs_enabled()
+        start = time.perf_counter() if timed else 0.0
+        if len(mats) == 1:
+            stacked = mats[0][1]
+        else:
+            stacked = np.concatenate([x for _, x, _ in mats], axis=0)
+        try:
+            preds = self.scorer.predict_batch(stacked, chunk=cfg.scoring_batch)
+        except PredictionError:
+            for index, x, y in mats:
+                unit_start = time.perf_counter() if timed else 0.0
+                try:
+                    pred = self.scorer.predict_batch(x, chunk=cfg.scoring_batch)
+                except PredictionError as exc:
+                    results[index] = PartialScore(
+                        False, float("inf"), 0.0, error=exc
+                    )
+                    continue
+                results[index] = PartialScore(*self._verdict_from(pred, y))
+                if timed:
+                    self._observe_prediction(
+                        (time.perf_counter() - unit_start) * 1e3 / len(x)
+                    )
+            return results
+        offset = 0
+        for index, x, y in mats:
+            pred = preds[offset : offset + len(x)]
+            offset += len(x)
+            results[index] = PartialScore(*self._verdict_from(pred, y))
+        if timed:
+            per_prediction_ms = (
+                (time.perf_counter() - start) * 1e3 / len(stacked)
+            )
+            for _ in mats:
+                self._observe_prediction(per_prediction_ms)
+        return results

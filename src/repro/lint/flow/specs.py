@@ -1,8 +1,8 @@
 """Static view of the nn layers' ``@tensor_contract`` specs.
 
 F1's transfer functions are the *declared* contracts on
-``Dense``/``Embedding``/``LSTMCell``/``StackedLSTM``: what a layer
-method promises about its input/output shapes.  This module harvests
+``Dense``/``Embedding``/``LSTMCell``/``StackedLSTM``/``BatchedScorer``:
+what a layer method promises about its input/output shapes.  This module harvests
 them once — via :func:`repro.nn.contracts.declared_contracts`, which
 works under ``python -O`` too — together with each constructor's
 parameter names, so a call site like ``Dense(4, 8, rng)`` can bind the
@@ -42,6 +42,8 @@ class LayerSpec:
 def parse_contract(spec: str):
     """Parse a contract string into ``(input, output)`` TensorSpecs.
 
+    Either side may itself be a *tuple* of TensorSpecs for multi-group
+    contracts (batched stateful methods like ``LSTMCell.step_batch``).
     Returns ``None`` for a malformed spec instead of raising — a broken
     inline contract is the runtime layer's problem to report, not the
     linter's.
@@ -58,13 +60,14 @@ def parse_contract(spec: str):
 def builtin_layer_specs() -> Dict[str, LayerSpec]:
     """The known nn layer classes, keyed by qualified class name."""
     try:
+        from ...nn.batched import BatchedScorer
         from ...nn.contracts import declared_contracts
         from ...nn.layers import Dense, Embedding
         from ...nn.lstm import LSTMCell, StackedLSTM
     except Exception:  # deshlint: allow[R4] optional table: lint must run without numpy
         return {}
     table: Dict[str, LayerSpec] = {}
-    for cls in (Dense, Embedding, LSTMCell, StackedLSTM):
+    for cls in (Dense, Embedding, LSTMCell, StackedLSTM, BatchedScorer):
         methods = {}
         for method, spec in declared_contracts(cls).items():
             parsed = parse_contract(spec)

@@ -12,14 +12,17 @@ required pieces directly on NumPy with full backpropagation:
 * :mod:`~repro.nn.model` — the sequence classifier / regressor models
   used by Desh phases 1 and 2-3 respectively,
 * :mod:`~repro.nn.contracts` — runtime shape/dtype contracts on the
-  layer forward/backward paths (compiled out under ``python -O``).
+  layer forward/backward paths (compiled out under ``python -O``),
+* :mod:`~repro.nn.batched` — the batch-major inference scoring core
+  shared by phase 3, the streaming monitor, and the serving shards.
 
 Everything is vectorized over the batch dimension (one fused gate matmul
 per timestep), following the hpc-parallel guide's "vectorize the inner
 loop" idiom.
 """
 
-from .activations import sigmoid, tanh, softmax, relu
+from .activations import sigmoid, sigmoid_infer, tanh, softmax, relu
+from .batched import BatchedScorer
 from .contracts import TensorSpec, parse_spec, tensor_contract
 from .initializers import glorot_uniform, orthogonal
 from .layers import Dense, Embedding
@@ -36,6 +39,8 @@ __all__ = [
     "parse_spec",
     "tensor_contract",
     "sigmoid",
+    "sigmoid_infer",
+    "BatchedScorer",
     "tanh",
     "softmax",
     "relu",

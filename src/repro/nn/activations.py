@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "sigmoid",
     "sigmoid_grad",
+    "sigmoid_infer",
     "tanh",
     "tanh_grad",
     "relu",
@@ -31,6 +32,32 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])
     out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_infer(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid for the inference path: branch-free and in-place.
+
+    The training :func:`sigmoid` pays ~7x its exp cost in fancy-indexing
+    machinery for the two-branch split.  Inference has no backward pass
+    that would reuse the mask, so this variant computes
+    ``1 / (1 + exp(-x))`` directly with three vectorized passes and no
+    temporaries beyond the output.  For very negative ``x``, ``exp(-x)``
+    overflows to ``inf`` and the reciprocal correctly returns ``0.0``;
+    the overflow warning is suppressed because that saturation is the
+    intended result, not an error.
+
+    The output may differ from :func:`sigmoid` in the last 1-2 ulp (the
+    two formulations round differently), which is why training keeps the
+    two-branch version: pipeline caches fingerprint training outputs.
+    The inference path only requires *self*-consistency — every scoring
+    route goes through this same function, so batched and sequential
+    scoring still agree bit for bit.
+    """
+    with np.errstate(over="ignore"):
+        out = np.exp(-x)
+    out += 1.0
+    np.reciprocal(out, out=out)
     return out
 
 

@@ -51,6 +51,30 @@ class Dense:
         self._x = x
         return x @ self.W + self.b
 
+    @tensor_contract("(B, in_dim):float -> (B, out_dim):float")
+    def forward_stable(self, x: np.ndarray) -> np.ndarray:
+        """Row-stable affine map for the batch-major inference path.
+
+        BLAS picks different kernels for ``(M, K) @ (K, N)`` depending
+        on M when N is skinny, so ``forward``'s GEMM can round row i of
+        a stacked batch differently from the same row scored alone (a
+        1-ulp drift that breaks the batched-vs-sequential bit-identity
+        guarantee).  This variant computes each output column as an
+        elementwise multiply-reduce, which NumPy evaluates identically
+        per row regardless of how many rows ride along.  Costs
+        ``out_dim`` passes over ``x`` — cheap for the skinny prediction
+        heads this path serves.  Does not cache for backward.
+        """
+        if x.ndim != 2 or x.shape[1] != self.in_dim:
+            raise ShapeError(
+                f"Dense expected (B, {self.in_dim}), got {x.shape}"
+            )
+        out = np.empty((x.shape[0], self.out_dim))
+        for j in range(self.out_dim):
+            np.sum(x * self.W[:, j], axis=1, out=out[:, j])
+        out += self.b
+        return out
+
     @tensor_contract("(..., out_dim):float -> (..., in_dim):float")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         """Accumulate parameter grads; return gradient w.r.t. the input."""

@@ -477,6 +477,28 @@ class SequenceRegressor:
             raise NotFittedError("SequenceRegressor.fit has not run")
         return self.forward(x)
 
+    def predict_infer(self, x: np.ndarray) -> np.ndarray:
+        """Batch-major inference predictions, shape ``(B, D_out)``.
+
+        The serving-path twin of :meth:`predict`: same validation and
+        semantics, but routed through the cache-free
+        :meth:`StackedLSTM.forward_infer` kernel and the row-stable
+        :meth:`Dense.forward_stable` head, so each window's prediction
+        is bitwise independent of how many other windows share the
+        batch (for B >= 2).  All batched phase-3 scoring goes through
+        here; outputs may differ from :meth:`predict` by 1-2 ulp (the
+        training forward keeps its own rounding for cache stability).
+        """
+        if not self._fitted:
+            raise NotFittedError("SequenceRegressor.fit has not run")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ShapeError(
+                f"input must be (B, T, {self.input_dim}), got {x.shape}"
+            )
+        hs = self.lstm.forward_infer(x)
+        return self.head.forward_stable(hs[:, -1, :])
+
     def mse_per_sample(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Per-window MSE between prediction and target, shape ``(B,)``.
 

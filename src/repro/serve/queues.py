@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import itertools
 from collections import deque
 from typing import Optional
 
@@ -110,6 +111,23 @@ class ShardQueue:
             self._not_empty.clear()
             await self._not_empty.wait()
         return self._items[0]
+
+    async def peek_many(self, max_items: int) -> "list[object]":
+        """Wait for a head item, then return up to *max_items* from the
+        head without removing any.
+
+        The batched-drain twin of :meth:`peek`: a worker that wakes to a
+        burst takes the whole run of queued items in one look and
+        commits them one by one as each survives processing, so the
+        crash-replay contract (head item replayed after a restart) is
+        unchanged.
+        """
+        if max_items < 1:
+            raise ConfigError(f"max_items must be >= 1, got {max_items}")
+        while not self._items:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        return list(itertools.islice(self._items, max_items))
 
     def commit(self) -> None:
         """Remove the head item after it has been fully processed."""

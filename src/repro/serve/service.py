@@ -44,7 +44,7 @@ from typing import Callable, Optional, Sequence
 
 from ..core.alerts import FailureWarning
 from ..core.monitor import StreamingMonitor
-from ..errors import ConfigError, IngestError, PredictionError, ServeError
+from ..errors import ConfigError, PredictionError, ServeError
 from ..obs import metrics_registry
 from ..resilience.checkpoint import CheckpointManager
 from ..topology.cray import NODE_ID_RE, CrayNodeId
@@ -67,6 +67,12 @@ class ServeConfig:
     queue_depth:
         Per-shard queue capacity in items (one item = one routed batch
         or one prediction request).
+    drain_batch_items:
+        Max queue items a shard worker takes per wake
+        (:meth:`~repro.serve.queues.ShardQueue.peek_many`); an ingest
+        burst drains as a few large batched scoring flushes instead of
+        many single-item ones.  Each item still commits individually,
+        so crash-replay granularity is unchanged.
     backpressure_wait:
         Seconds ingest waits for queue space before shedding a batch.
     retry_after:
@@ -99,6 +105,7 @@ class ServeConfig:
 
     num_shards: int = 4
     queue_depth: int = 256
+    drain_batch_items: int = 8
     backpressure_wait: float = 0.05
     retry_after: float = 1.0
     dedup_window: int = 4096
@@ -122,6 +129,10 @@ class ServeConfig:
         if self.queue_depth < 1:
             raise ConfigError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.drain_batch_items < 1:
+            raise ConfigError(
+                f"drain_batch_items must be >= 1, got {self.drain_batch_items}"
             )
         for name in (
             "backpressure_wait",
@@ -397,56 +408,57 @@ class PredictionService:
         """One shard's consume loop (supervised; may crash and restart)."""
         shard = self._shards[index]
         while True:
-            item = await shard.queue.peek()
-            if self._fault_hook is not None:
-                # Fault injection fires at the item boundary, before any
-                # monitor mutation — a crash here replays the item after
-                # restart with bit-identical results.
-                stall = self._fault_hook(index, shard.items_taken)
-                if stall:
-                    metrics_registry().counter("serve.stalls").inc()
-                    await asyncio.sleep(stall)
-            kind = item[0]
-            if kind == "lines":
-                self._process_lines(shard, item[1])
-            elif kind == "predict":
-                self._process_predict(shard, item)
-            else:  # pragma: no cover - internal invariant
-                raise ServeError(f"unknown queue item kind {kind!r}")
-            shard.queue.commit()
-            shard.items_taken += 1
-            self.supervisor.note_progress(index)
-            metrics_registry().gauge(
-                f"serve.shard{shard.index}.queue_depth"
-            ).set(shard.queue.depth)
-            # Yield so long batches cannot starve the event loop.
+            # Drain a run of queued items in one wake so ingest bursts
+            # amortize into large batched scoring flushes; each item
+            # still commits individually, so a crash mid-run leaves the
+            # failed item at the head for bit-identical replay.
+            items = await shard.queue.peek_many(self.config.drain_batch_items)
+            for item in items:
+                if self._fault_hook is not None:
+                    # Fault injection fires at the item boundary, before
+                    # any monitor mutation — a crash here replays the
+                    # item after restart with bit-identical results.
+                    stall = self._fault_hook(index, shard.items_taken)
+                    if stall:
+                        metrics_registry().counter("serve.stalls").inc()
+                        await asyncio.sleep(stall)
+                kind = item[0]
+                if kind == "lines":
+                    self._process_lines(shard, item[1])
+                elif kind == "predict":
+                    self._process_predict(shard, item)
+                else:  # pragma: no cover - internal invariant
+                    raise ServeError(f"unknown queue item kind {kind!r}")
+                shard.queue.commit()
+                shard.items_taken += 1
+                self.supervisor.note_progress(index)
+                metrics_registry().gauge(
+                    f"serve.shard{shard.index}.queue_depth"
+                ).set(shard.queue.depth)
+            # Yield so long drains cannot starve the event loop.
             await asyncio.sleep(0)
 
     def _process_lines(self, shard: _Shard, batch: list[str]) -> None:
         monitor = shard.monitor
         allow = shard.breaker.allow()
         monitor.degraded_mode = not allow
-        for line in batch:
-            attempted = monitor.scores_attempted
-            skipped = monitor.degraded_skips
-            try:
-                warning = monitor.feed_line(line)
-            except IngestError:
+        registry = metrics_registry()
+        for outcome in monitor.feed_line_batch(batch):
+            shard.lines_processed += 1
+            if outcome.ingest_error is not None:
                 # Budget exhaustion is an operational signal, not a
                 # reason to kill the worker: the line is already
                 # quarantined, so count and keep serving.
                 shard.ingest_errors += 1
-                metrics_registry().counter("serve.ingest_budget_errors").inc()
+                registry.counter("serve.ingest_budget_errors").inc()
                 continue
-            finally:
-                shard.lines_processed += 1
-            if allow and monitor.scores_attempted > attempted:
-                if monitor.degraded_skips > skipped:
+            if allow and outcome.attempted:
+                if outcome.skipped:
                     shard.breaker.record_fault()
                 else:
                     shard.breaker.record_success()
-            if warning is not None:
-                self._publish(warning)
+            if outcome.warning is not None:
+                self._publish(outcome.warning)
 
     def _process_predict(self, shard: _Shard, item: tuple) -> None:
         _kind, node_text, deadline, future = item

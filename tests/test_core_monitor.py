@@ -178,13 +178,20 @@ class TestStreamingMonitor:
     def test_prediction_error_degrades_to_counted_skip(
         self, trained_model, test_split
     ):
+        from repro.core.phase3 import PartialScore
         from repro.errors import PredictionError
 
         monitor = StreamingMonitor(trained_model)
 
         class _Poisoned:
-            def score_partial(self, buf):
-                raise PredictionError("poisoned episode")
+            def score_partial_batch(self, units):
+                # Batched scoring attributes the failure per unit
+                # instead of raising, like Phase3Predictor does.
+                error = PredictionError("poisoned episode")
+                return [
+                    PartialScore(False, float("inf"), 0.0, error=error)
+                    for _ in units
+                ]
 
         monitor.model = dataclasses.replace(
             trained_model, predictor=_Poisoned()
@@ -211,3 +218,96 @@ class TestStreamingMonitor:
             StreamingMonitor(trained_model, max_nodes=0)
         with pytest.raises(ConfigError):
             StreamingMonitor(trained_model, max_events_per_node=1)
+
+
+class TestBatchedFeedEquivalence:
+    """feed_batch must be observably identical to sequential feed."""
+
+    def _sequential(self, trained_model, records):
+        monitor = StreamingMonitor(trained_model)
+        warnings = [w for w in map(monitor.feed, records) if w is not None]
+        return monitor, warnings
+
+    def test_feed_batch_bit_identical_to_feed(self, trained_model, test_split):
+        records = test_split.records[:2500]
+        reference, expected = self._sequential(trained_model, records)
+        for batch_size in (3, 64, len(records)):
+            monitor = StreamingMonitor(trained_model)
+            warnings = list(monitor.run(records, batch_size=batch_size))
+            assert warnings == expected
+            assert monitor.state_dict() == reference.state_dict()
+
+    def test_outcomes_mirror_counter_deltas(self, trained_model, test_split):
+        records = test_split.records[:1500]
+        monitor = StreamingMonitor(trained_model)
+        outcomes = monitor.feed_batch(records)
+        assert len(outcomes) == len(records)
+        attempted = sum(1 for o in outcomes if o.attempted)
+        skipped = sum(1 for o in outcomes if o.skipped)
+        raised = [o.warning for o in outcomes if o.warning is not None]
+        assert attempted == monitor.scores_attempted
+        assert skipped == monitor.degraded_skips
+        assert len(raised) == monitor.warnings_raised
+
+    def test_degraded_mode_skips_whole_batch(self, trained_model, test_split):
+        monitor = StreamingMonitor(trained_model)
+        monitor.degraded_mode = True
+        outcomes = monitor.feed_batch(test_split.records[:400])
+        assert all(o.warning is None for o in outcomes)
+        assert not any(o.attempted for o in outcomes)
+        assert monitor.scores_attempted == 0
+        assert monitor.degraded_skips == sum(1 for o in outcomes if o.skipped)
+        assert monitor.degraded_skips > 0
+
+    def test_state_round_trip_mid_stream(self, trained_model, test_split):
+        records = test_split.records[:2000]
+        half = len(records) // 2
+        reference, expected = self._sequential(trained_model, records)
+
+        first = StreamingMonitor(trained_model)
+        head = [w for w in map(first.feed, records[:half]) if w is not None]
+        resumed = StreamingMonitor(trained_model)
+        resumed.load_state_dict(first.state_dict())
+        tail = [
+            o.warning
+            for o in resumed.feed_batch(records[half:])
+            if o.warning is not None
+        ]
+        assert head + tail == expected
+        assert resumed.state_dict() == reference.state_dict()
+
+    def test_feed_line_batch_matches_feed_line(self, trained_model, test_split):
+        lines = [render_line(r) for r in test_split.records[:1200]]
+        sequential = StreamingMonitor(trained_model)
+        expected = [
+            w for w in map(sequential.feed_line, lines) if w is not None
+        ]
+        batched = StreamingMonitor(trained_model)
+        warnings = list(batched.run_lines(lines, batch_size=64))
+        assert warnings == expected
+        assert batched.state_dict() == sequential.state_dict()
+
+    def test_feed_line_batch_reports_ingest_error_in_outcome(
+        self, trained_model
+    ):
+        from repro.resilience import IngestConfig
+
+        monitor = StreamingMonitor(
+            trained_model,
+            ingest_config=IngestConfig(
+                max_bad_ratio=0.0, min_lines_for_budget=1
+            ),
+        )
+        outcomes = monitor.feed_line_batch(["not a log line at all"])
+        assert len(outcomes) == 1
+        assert outcomes[0].ingest_error is not None
+        assert outcomes[0].warning is None
+        assert not outcomes[0].attempted
+
+    def test_run_rejects_bad_batch_size(self, monitor, test_split):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            list(monitor.run(test_split.records[:10], batch_size=0))
+        with pytest.raises(ConfigError):
+            list(monitor.run_lines([], batch_size=0))

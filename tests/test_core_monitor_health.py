@@ -9,6 +9,7 @@ and the checkpointable state dict.
 import pytest
 
 from repro.core import StreamingMonitor
+from repro.core.phase3 import PartialScore
 from repro.errors import ConfigError, PredictionError
 from repro.events import Label, ParsedEvent
 from repro.topology import CrayNodeId
@@ -32,6 +33,19 @@ class _FakeScorer:
         if self.fail:
             raise PredictionError("scripted scoring failure")
         return self.flag, 0.5, 60.0
+
+    def score_partial_batch(self, units):
+        # Same shape as Phase3Predictor.score_partial_batch: a scoring
+        # failure is attributed to the unit, never raised.
+        results = []
+        for events in units:
+            try:
+                results.append(PartialScore(*self.score_partial(events)))
+            except PredictionError as exc:
+                results.append(
+                    PartialScore(False, float("inf"), 0.0, error=exc)
+                )
+        return results
 
 
 class _FakeModel:

@@ -56,6 +56,40 @@ class TestShardQueue:
 
         asyncio.run(run())
 
+    def test_peek_many_returns_head_run_without_consuming(self):
+        async def run():
+            queue = ShardQueue(8)
+            for item in ("a", "b", "c"):
+                assert queue.offer(item)
+            assert await queue.peek_many(2) == ["a", "b"]
+            assert await queue.peek_many(8) == ["a", "b", "c"]
+            assert queue.depth == 3  # nothing consumed
+            queue.commit()
+            assert await queue.peek_many(8) == ["b", "c"]
+
+        asyncio.run(run())
+
+    def test_peek_many_waits_for_first_item(self):
+        async def run():
+            queue = ShardQueue(4)
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.offer("late")
+
+            task = asyncio.ensure_future(producer())
+            assert await queue.peek_many(4) == ["late"]
+            await task
+
+        asyncio.run(run())
+
+    def test_peek_many_rejects_bad_count(self):
+        async def run():
+            with pytest.raises(ConfigError):
+                await ShardQueue(4).peek_many(0)
+
+        asyncio.run(run())
+
     def test_commit_without_item_raises(self):
         async def run():
             queue = ShardQueue(2)

@@ -5,6 +5,7 @@ import json
 
 import pytest
 
+from repro.core.phase3 import PartialScore
 from repro.errors import ConfigError, PredictionError, ServeError
 from repro.serve import PredictionService, ServeConfig
 from repro.serve.breaker import BreakerConfig
@@ -233,11 +234,17 @@ class TestBreakerIntegration:
     def test_scoring_faults_trip_breaker_into_degraded_mode(
         self, trained_model, lines, monkeypatch
     ):
-        def explode(_events):
-            raise PredictionError("poisoned scorer")
+        def explode(units):
+            # A failed batched forward is attributed per unit, exactly
+            # like Phase3Predictor's fallback path.
+            error = PredictionError("poisoned scorer")
+            return [
+                PartialScore(False, float("inf"), 0.0, error=error)
+                for _ in units
+            ]
 
         monkeypatch.setattr(
-            trained_model.predictor, "score_partial", explode
+            trained_model.predictor, "score_partial_batch", explode
         )
 
         async def run():
@@ -426,6 +433,8 @@ class TestLifecycleAndIntrospection:
             ServeConfig(num_shards=0)
         with pytest.raises(ConfigError):
             ServeConfig(queue_depth=0)
+        with pytest.raises(ConfigError):
+            ServeConfig(drain_batch_items=0)
         with pytest.raises(ConfigError):
             ServeConfig(backpressure_wait=-1.0)
         with pytest.raises(ConfigError):
