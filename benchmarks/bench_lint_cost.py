@@ -2,13 +2,15 @@
 
 The self-lint gate runs in tier-1 CI on every push, so its wall time is
 part of the edit-test loop.  Budget: one full pass over ``src/repro``
-(~100 modules, all syntactic *and* dataflow rules, suppressions +
-baseline applied) in under 10 seconds.  The super-linear pieces are
+(~120 modules, all syntactic *and* dataflow rules, suppressions +
+baseline applied) in under 15 seconds.  The super-linear pieces are
 timed separately to catch complexity regressions early:
 
 * the R2 reachability pass builds a whole-project call graph;
 * the F1-F3 dataflow pass builds a CFG per function and iterates the
-  shape domain to a fixpoint.
+  shape domain to a fixpoint;
+* the F4-F6 async pass adds the lockset fixpoint per coroutine plus a
+  second call-graph walk rooted at every async def (F5).
 """
 
 from __future__ import annotations
@@ -19,12 +21,14 @@ from pathlib import Path
 import repro
 from repro.lint import all_rules, get_rules, lint_paths
 
-BUDGET_SECONDS = 10.0
+BUDGET_SECONDS = 15.0
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
 
 #: Rule ids by analysis family, kept in sync with Rule.category.
 SYNTACTIC = ["R1", "R2", "R3", "R4", "R5"]
-DATAFLOW = ["F1", "F2", "F3"]
+DATAFLOW = ["F1", "F2", "F3", "F4", "F5", "F6"]
+#: The deshrace trio: the async-aware subset of the dataflow family.
+ASYNC_RULES = ["F4", "F5", "F6"]
 
 
 def _timed_lint(rules=None) -> "tuple[float, int]":
@@ -39,6 +43,7 @@ def test_rule_family_constants_match_registry():
     for rule in all_rules():
         registered.setdefault(rule.category, []).append(rule.id)
     assert registered == by_category
+    assert set(ASYNC_RULES) <= set(DATAFLOW)
 
 
 def test_full_repo_lint_under_budget(capsys):
@@ -50,14 +55,16 @@ def test_full_repo_lint_under_budget(capsys):
     dataflow_seconds, _ = _timed_lint(rules=get_rules(DATAFLOW))
     r2_seconds, _ = _timed_lint(rules=get_rules(["R2"]))
     f1_seconds, _ = _timed_lint(rules=get_rules(["F1"]))
+    async_seconds, _ = _timed_lint(rules=get_rules(ASYNC_RULES))
 
     with capsys.disabled():
         print()
-        print(f"full lint (R1-R5, F1-F3) {full_seconds:6.2f}s  ({modules} modules)")
+        print(f"full lint (R1-R5, F1-F6) {full_seconds:6.2f}s  ({modules} modules)")
         print(f"  syntactic (R1-R5)      {syntactic_seconds:6.2f}s")
         print(f"    R2 reachability      {r2_seconds:6.2f}s")
-        print(f"  dataflow (F1-F3)       {dataflow_seconds:6.2f}s")
+        print(f"  dataflow (F1-F6)       {dataflow_seconds:6.2f}s")
         print(f"    F1 shape fixpoint    {f1_seconds:6.2f}s")
+        print(f"    F4-F6 async passes   {async_seconds:6.2f}s")
         print(f"budget                   {BUDGET_SECONDS:6.2f}s")
 
     assert modules > 90
@@ -68,3 +75,7 @@ def test_full_repo_lint_under_budget(capsys):
     # The dataflow pass must not dwarf the syntactic pass: it runs per
     # function, so a superlinear regression shows up here first.
     assert dataflow_seconds < BUDGET_SECONDS
+    # The async trio alone must stay well inside the budget: F5 walks
+    # the call graph once per coroutine root, which is the newest
+    # superlinear surface.
+    assert async_seconds < BUDGET_SECONDS

@@ -48,11 +48,13 @@ Commands
     accounting, and bit-identity vs a fault-free run.
 ``lint``
     Run the deshlint static-analysis gate — syntactic rules R1-R5 plus
-    the dataflow analyses F1-F3 (shape flow, stage artifact flow,
-    parallel capture safety) — over source paths; exits 1 on any
-    finding not covered by an inline suppression or the baseline file.
-    ``--sarif`` additionally writes a SARIF 2.1.0 log for GitHub code
-    scanning; ``--rules list`` prints the registry grouped by category.
+    the dataflow analyses F1-F6 (shape flow, stage artifact flow,
+    parallel capture safety, async atomicity, blocking-call
+    reachability, orphaned coroutines) — over source paths; exits 1 on
+    any finding not covered by an inline suppression or the baseline
+    file.  ``--sarif`` additionally writes a SARIF 2.1.0 log for GitHub
+    code scanning; ``--rules list`` prints the registry grouped by
+    category; ``--jobs N`` analyzes files in parallel.
 
 Examples
 --------
@@ -161,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--out", required=True, help="markdown output path")
 
     li = sub.add_parser(
-        "lint", help="run deshlint static analysis (R1-R5, F1-F3)"
+        "lint", help="run deshlint static analysis (R1-R5, F1-F6)"
     )
     li.add_argument(
         "paths",
@@ -195,6 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="grandfather all current findings into the baseline file",
+    )
+    li.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze N files in parallel (process pool); findings are "
+        "reported in the same deterministic order as a serial run",
     )
 
     tr = sub.add_parser(
@@ -604,7 +614,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         baseline_path = Path("lint-baseline.json")
 
     if args.update_baseline:
-        report = lint_paths(paths, rules=rules)
+        report = lint_paths(paths, rules=rules, jobs=args.jobs)
         target = baseline_path or Path("lint-baseline.json")
         Baseline.from_findings(report.findings).save(
             target, findings=report.findings
@@ -618,7 +628,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     baseline = None
     if baseline_path is not None and not args.no_baseline:
         baseline = Baseline.load(baseline_path)
-    report = lint_paths(paths, rules=rules, baseline=baseline)
+    report = lint_paths(paths, rules=rules, baseline=baseline, jobs=args.jobs)
     if args.sarif:
         from .lint.sarif import write_sarif
 

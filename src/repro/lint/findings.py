@@ -11,7 +11,32 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "RelatedSite"]
+
+
+@dataclass(frozen=True)
+class RelatedSite:
+    """A secondary location attached to a finding.
+
+    Dataflow findings are rarely about one line: an F4 atomicity window
+    spans the stale read, the await that opens the window, and the
+    write; an F5 chain walks several call sites.  Each hop is one
+    ``RelatedSite`` rendered as a SARIF ``relatedLocation``.
+    """
+
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
 
 
 @dataclass(frozen=True, order=True)
@@ -24,6 +49,7 @@ class Finding:
     rule: str
     message: str = field(compare=False)
     snippet: str = field(compare=False, default="")
+    related: tuple = field(compare=False, default=())
 
     def key(self) -> str:
         """Baseline identity: rule + file + flagged-line content hash."""
@@ -36,7 +62,7 @@ class Finding:
 
     def to_dict(self) -> dict:
         """JSON-serializable form (used by ``repro lint --json``)."""
-        return {
+        out = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -45,3 +71,6 @@ class Finding:
             "snippet": self.snippet,
             "key": self.key(),
         }
+        if self.related:
+            out["related"] = [site.to_dict() for site in self.related]
+        return out

@@ -21,12 +21,26 @@ built on it, registered as deshlint rules F1-F3:
 * :mod:`capture` — **F3**: mutable shared state captured by callables
   shipped to ``ordered_parallel_map``.
 
-All three plug into the ordinary rule engine: suppressions
+The **deshrace** trio makes the same machinery async-aware (the CFG
+marks every await point as a yield of control; see
+:func:`~repro.lint.flow.cfg.head_awaits`) and proves concurrency
+properties of the serving layer:
+
+* :mod:`atomicity` — **F4**: check-then-act / read-modify-write
+  sequences on shared ``self.*`` state that span an await point
+  without a common ``asyncio.Lock`` held across the window;
+* :mod:`blocking` — **F5**: call-graph reachability from every
+  ``async def`` to blocking calls (``time.sleep``, synchronous
+  file/socket I/O, heavy NumPy fit entry points);
+* :mod:`orphan` — **F6**: orphaned coroutines — unawaited coroutine
+  calls and dropped ``create_task``/``ensure_future`` handles.
+
+All six plug into the ordinary rule engine: suppressions
 (``# deshlint: allow[F1] reason``), the baseline, ``--rules`` subsets
 and the CI gate apply unchanged.
 """
 
-from .cfg import CFG, Block, build_cfg
+from .cfg import CFG, Block, build_cfg, head_awaits, is_yield_point
 from .domain import (
     TOP_DIM,
     UNKNOWN,

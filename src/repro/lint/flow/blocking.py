@@ -1,0 +1,309 @@
+"""F5 — blocking calls reachable from coroutines.
+
+One ``time.sleep`` anywhere under an ``async def`` stalls the *whole*
+event loop: every shard worker, the HTTP server, the supervisor's
+restart timers — all of them stop until the sleep returns.  The same
+goes for synchronous socket/file I/O and for heavy NumPy training
+entry points.  The damage is invisible in unit tests (one coroutine,
+no contention) and shows up in production as missed alert deadlines.
+
+The rule reuses R2's over-approximate project call graph
+(:class:`~repro.lint.rules.purity._Project`) and walks it from every
+``async def`` in the project, with two precision amendments:
+
+* unresolved ``obj.meth(...)`` calls are followed only when exactly
+  one project method bears that name — R2's every-method-named-``meth``
+  wildcard is fine for a handful of ``Stage.run`` roots but explodes
+  from dozens of coroutine roots into the whole repo;
+* the walk stops at *sync boundaries*: functions the serving layer
+  deliberately calls synchronously because their cost is budgeted and
+  bounded (the monitor's batch feed, the phase-3 partial scorer, the
+  checkpoint save/restore helpers).  The boundary list is the
+  allowlist the ISSUE calls for; anything newly reachable behind it
+  needs its own review, not silence.
+
+Findings anchor at the blocking call site and carry the full example
+call chain from the coroutine root as related locations, one hop per
+function, like R2 renders its purity chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ..names import resolve_dotted
+from ..rules import ModuleInfo, Rule, register
+from ..rules.purity import _Func, _Project
+
+__all__ = ["BlockingCallRule"]
+
+#: Dotted call targets that block the event loop, with the reason.
+_BLOCKING_DOTTED = {
+    "time.sleep": "sleeps the whole event loop",
+    "os.system": "blocks on a subprocess",
+    "subprocess.run": "blocks on a subprocess",
+    "subprocess.call": "blocks on a subprocess",
+    "subprocess.check_call": "blocks on a subprocess",
+    "subprocess.check_output": "blocks on a subprocess",
+    "socket.create_connection": "performs blocking network I/O",
+    "urllib.request.urlopen": "performs blocking network I/O",
+}
+
+#: Bare built-in calls that hit the filesystem / terminal synchronously.
+_BLOCKING_BUILTINS = {
+    "open": "opens a file synchronously",
+    "input": "blocks on terminal input",
+}
+
+#: Method names that are blocking I/O on their usual receivers
+#: (pathlib.Path, socket.socket).  Only flagged when the call does not
+#: resolve to a project function of the same name.
+_BLOCKING_METHODS = {
+    "read_text": "reads a file synchronously",
+    "write_text": "writes a file synchronously",
+    "read_bytes": "reads a file synchronously",
+    "write_bytes": "writes a file synchronously",
+    "recv": "performs blocking socket I/O",
+    "sendall": "performs blocking socket I/O",
+    "makefile": "performs blocking socket I/O",
+}
+
+#: Project functions that are heavy compute entry points: reaching one
+#: from a coroutine means minutes of NumPy under the event loop.
+_HEAVY_NAMES = {"fit", "fit_with_validation", "train"}
+
+#: Deliberately synchronous boundaries: the serving layer calls these
+#: inline because their cost is budgeted (micro-batched scoring) or
+#: they run off-loop (checkpoint I/O via asyncio.to_thread).  The walk
+#: does not descend into them.
+_SYNC_BOUNDARIES = {
+    "StreamingMonitor.feed_batch",
+    "StreamingMonitor.feed_line_batch",
+    "Phase3Predictor.score_partial",
+    "Phase3Predictor.score_partial_batch",
+    "CheckpointManager.save",
+    "CheckpointManager.load_latest",
+    "save_service_checkpoint",
+    "restore_service_state",
+}
+
+
+def _short(qualname: str) -> str:
+    """``module:Class.method`` -> ``Class.method``."""
+    return qualname.split(":", 1)[1]
+
+
+def _is_boundary(qualname: str) -> bool:
+    return _short(qualname) in _SYNC_BOUNDARIES
+
+
+def _awaited_calls(node: ast.AST) -> Set[int]:
+    """ids of Call nodes that are the direct operand of an ``await``."""
+    out: Set[int] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Await) and isinstance(child.value, ast.Call):
+            out.add(id(child.value))
+    return out
+
+
+@register
+class BlockingCallRule(Rule):
+    """No path from an async def may reach a blocking call."""
+
+    id = "F5"
+    category = "dataflow"
+    summary = (
+        "no blocking call (time.sleep, sync file/socket I/O, heavy "
+        "NumPy fit) reachable from any async def — one blocked frame "
+        "stalls every coroutine on the event loop"
+    )
+
+    def check_project(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        """Walk the call graph from every coroutine in the project."""
+        project = _Project(modules)
+        roots = sorted(
+            qn
+            for qn, func in project.funcs.items()
+            if isinstance(func.node, ast.AsyncFunctionDef)
+        )
+        if not roots:
+            return []
+        chains = self._reachable(project, roots)
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, int, str]] = set()
+        for qualname in sorted(chains):
+            if _is_boundary(qualname):
+                # A sync boundary is reviewed as a unit: neither its
+                # body nor anything beyond it is scanned.
+                continue
+            func = project.funcs[qualname]
+            self._scan_body(project, func, chains[qualname], reported, findings)
+            self._check_heavy_edges(
+                project, func, chains[qualname], reported, findings
+            )
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _reachable(
+        self, project: _Project, roots: List[str]
+    ) -> Dict[str, List[str]]:
+        """BFS closure with example chains, amended for precision.
+
+        Unlike R2's :meth:`_Project.reachable_from`, unresolved method
+        calls only link when the name maps to exactly one project
+        function, and sync-boundary functions terminate the walk.
+        """
+        chains: Dict[str, List[str]] = {}
+        queue: deque = deque()
+        for root in roots:
+            chains[root] = [root]
+            queue.append(root)
+        while queue:
+            current = queue.popleft()
+            if _is_boundary(current):
+                continue
+            func = project.funcs[current]
+            targets = set(func.calls)
+            for meth in func.unresolved_methods:
+                candidates = project.by_method_name.get(meth, set())
+                if len(candidates) == 1:
+                    targets.update(candidates)
+            for target in sorted(targets):
+                if target not in chains and target in project.funcs:
+                    chains[target] = chains[current] + [target]
+                    queue.append(target)
+        return chains
+
+    # ------------------------------------------------------------------
+    def _scan_body(
+        self,
+        project: _Project,
+        func: _Func,
+        chain: List[str],
+        reported: Set[Tuple[str, int, str]],
+        findings: List[Finding],
+    ) -> None:
+        """Flag blocking Call nodes inside one reachable function."""
+        awaited = _awaited_calls(func.node)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call) or id(node) in awaited:
+                continue
+            label, why = self._classify(project, func, node)
+            if label is None:
+                continue
+            site = (func.module.path, getattr(node, "lineno", 0), label)
+            if site in reported:
+                continue
+            reported.add(site)
+            findings.append(
+                self._finding(project, func, node, chain, label, why)
+            )
+
+    def _classify(
+        self, project: _Project, func: _Func, node: ast.Call
+    ) -> Tuple["str | None", str]:
+        """(label, reason) when *node* is a blocking call, else (None, '')."""
+        target = node.func
+        if isinstance(target, ast.Name):
+            if target.id in _BLOCKING_BUILTINS:
+                return target.id, _BLOCKING_BUILTINS[target.id]
+            dotted = resolve_dotted(target, func.imap)
+            if dotted in _BLOCKING_DOTTED:
+                return dotted, _BLOCKING_DOTTED[dotted]
+            return None, ""
+        if not isinstance(target, ast.Attribute):
+            return None, ""
+        dotted = resolve_dotted(target, func.imap)
+        if dotted in _BLOCKING_DOTTED:
+            return dotted, _BLOCKING_DOTTED[dotted]
+        if target.attr in _BLOCKING_METHODS:
+            # A project method of the same name is a call-graph edge,
+            # not pathlib/socket I/O — the walk follows it instead.
+            if not project.by_method_name.get(target.attr):
+                return f".{target.attr}()", _BLOCKING_METHODS[target.attr]
+        return None, ""
+
+    # ------------------------------------------------------------------
+    def _check_heavy_edges(
+        self,
+        project: _Project,
+        func: _Func,
+        chain: List[str],
+        reported: Set[Tuple[str, int, str]],
+        findings: List[Finding],
+    ) -> None:
+        """Flag call sites in *func* that resolve to heavy entry points."""
+        if _is_boundary(func.qualname):
+            return
+        heavy = {
+            qn
+            for qn in func.calls
+            if qn in project.funcs and project.funcs[qn].name in _HEAVY_NAMES
+        }
+        for meth in func.unresolved_methods & _HEAVY_NAMES:
+            candidates = project.by_method_name.get(meth, set())
+            if len(candidates) == 1:
+                heavy.update(candidates)
+        if not heavy:
+            return
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id if isinstance(node.func, ast.Name) else ""
+            )
+            matches = sorted(q for q in heavy if project.funcs[q].name == name)
+            if not matches:
+                continue
+            label = _short(matches[0])
+            site = (func.module.path, getattr(node, "lineno", 0), label)
+            if site in reported:
+                continue
+            reported.add(site)
+            findings.append(
+                self._finding(
+                    project,
+                    func,
+                    node,
+                    chain + [matches[0]],
+                    label,
+                    "is a heavy NumPy training entry point",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _finding(
+        self,
+        project: _Project,
+        func: _Func,
+        node: ast.AST,
+        chain: List[str],
+        label: str,
+        why: str,
+    ) -> Finding:
+        rendered = " -> ".join(_short(q) for q in chain)
+        related = []
+        for i, qn in enumerate(chain):
+            hop = project.funcs.get(qn)
+            if hop is None:
+                continue
+            related.append(
+                hop.module.site(
+                    hop.node, f"call chain hop {i}: {_short(qn)} defined here"
+                )
+            )
+        return func.module.finding(
+            node,
+            self.id,
+            f"{label} {why}; reachable from async def {_short(chain[0])} "
+            f"via {rendered} — move it behind asyncio.to_thread or an "
+            "executor, or add the call to the reviewed sync-boundary "
+            "allowlist",
+            related=tuple(related),
+        )

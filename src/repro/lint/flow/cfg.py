@@ -19,8 +19,24 @@ over-approximation of CPython's actual control flow:
   edges are ignored);
 * comprehensions are expressions and never split a block.
 
+**Async awareness.**  The builder already lowers ``async for`` /
+``async with`` structurally (same shape as their sync twins); what the
+async analyses additionally need is *where control may leave the
+coroutine*.  :func:`head_awaits` reports the await expressions a
+statement's *head* evaluates — the part that actually lives in the
+block, not a compound's body — and :func:`is_yield_point` folds that to
+a bool.  An ``async for`` head is a yield point (``__anext__`` is
+awaited on every iteration, including the exhausting one), an ``async
+with`` head likewise (``__aenter__``; ``__aexit__`` is approximated to
+the head too), and ``await`` anywhere in a simple statement — including
+inside comprehensions and call arguments such as ``asyncio.gather`` /
+``create_task`` fan-out — marks that statement.  Nested function
+definitions and lambdas are *not* descended into: their awaits belong
+to the inner coroutine, not this one.
+
 Block ids are assigned in construction order, so :meth:`CFG.describe`
-output is deterministic — the golden-CFG tests compare it verbatim.
+output is deterministic — the golden-CFG tests compare it verbatim;
+yield-point statements render with a ``~`` suffix (``Assign~``).
 """
 
 from __future__ import annotations
@@ -29,7 +45,65 @@ import ast
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-__all__ = ["Block", "CFG", "build_cfg"]
+__all__ = ["Block", "CFG", "build_cfg", "head_awaits", "is_yield_point"]
+
+#: Scope boundaries whose inner awaits belong to a different coroutine.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _own_awaits(node: ast.AST) -> List[ast.AST]:
+    """``Await`` nodes inside *node* without crossing a scope boundary."""
+    out: List[ast.AST] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        if isinstance(child, ast.Await):
+            out.append(child)
+        if isinstance(child, ast.comprehension) and child.is_async:
+            # ``async for`` inside a comprehension awaits per element.
+            out.append(child.iter)
+        stack.extend(ast.iter_child_nodes(child))
+    return out
+
+
+def head_awaits(stmt: ast.stmt) -> List[ast.AST]:
+    """Await points evaluated by *stmt*'s head (block-resident part).
+
+    Compound statements contribute only the expressions their head
+    evaluates — an ``if`` its test, a loop its iterable — because their
+    bodies live in other blocks and are analyzed there.  ``async for``
+    and ``async with`` heads are themselves await points.
+    """
+    if isinstance(stmt, ast.AsyncFor):
+        return [stmt] + _own_awaits(stmt.iter)
+    if isinstance(stmt, ast.AsyncWith):
+        out: List[ast.AST] = [stmt]
+        for item in stmt.items:
+            out.extend(_own_awaits(item.context_expr))
+        return out
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _own_awaits(stmt.test)
+    if isinstance(stmt, ast.For):
+        return _own_awaits(stmt.iter)
+    if isinstance(stmt, ast.With):
+        out = []
+        for item in stmt.items:
+            out.extend(_own_awaits(item.context_expr))
+        return out
+    if isinstance(stmt, ast.Try):
+        return []  # the try head evaluates nothing
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # Defining a nested function/class runs no awaits — the inner
+        # body's suspension points belong to the inner scope.
+        return []
+    return _own_awaits(stmt)
+
+
+def is_yield_point(stmt: ast.stmt) -> bool:
+    """Whether *stmt*'s head may yield control back to the event loop."""
+    return bool(head_awaits(stmt))
 
 
 @dataclass
@@ -88,11 +162,15 @@ class CFG:
 
         ``b<id>[Stmt,Stmt] -> b2,b3`` per block; the head statement of a
         compound appears under its node-type name, the exit block is
-        labelled ``exit``.
+        labelled ``exit``.  A statement whose head may yield control (an
+        await point) renders with a ``~`` suffix: ``Assign~``.
         """
         lines = []
         for block in self.blocks:
-            kinds = ",".join(type(s).__name__ for s in block.stmts) or "-"
+            kinds = ",".join(
+                type(s).__name__ + ("~" if is_yield_point(s) else "")
+                for s in block.stmts
+            ) or "-"
             succs = ",".join(f"b{i}" for i in block.succs) or "-"
             tag = " (exit)" if block.id == self.exit else ""
             lines.append(f"b{block.id}[{kinds}]{tag} -> {succs}")

@@ -1,0 +1,177 @@
+"""F6 — orphaned coroutines: created but never awaited or held.
+
+Calling an ``async def`` without ``await`` does not run it — it builds
+a coroutine object, which Python silently garbage-collects (a
+``RuntimeWarning`` at best, in production: nothing happened).  Dropping
+the handle returned by ``asyncio.create_task``/``ensure_future`` is the
+subtler cousin: the task *does* run, but nothing observes its result,
+so an exception inside it vanishes — and CPython only holds a weak
+reference to running tasks, so the dropped task can be collected
+mid-flight.
+
+The rule flags expression statements whose value is a bare call:
+
+* ``asyncio.create_task(...)`` / ``ensure_future(...)`` with the
+  returned handle discarded — bind it and await/cancel it on shutdown
+  (the ``Supervisor`` pattern);
+* a call to a known coroutine function — an ``async def`` defined in
+  the same module (bare name or ``self.`` method of the enclosing
+  class) or an ``asyncio`` coroutine API (``sleep``, ``wait_for``,
+  ``gather``, ``wait``, ``to_thread``, ...) — with no ``await``.
+
+Calls nested inside other expressions are *consumed* by construction
+(``await gather(self._run(0), self._run(1))``, ``t = create_task(c)``)
+and never flagged; the analysis is deliberately syntactic about that
+boundary to stay zero-false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..findings import Finding
+from ..names import build_import_map, resolve_dotted
+from ..rules import ModuleInfo, Rule, register
+
+__all__ = ["OrphanCoroutineRule"]
+
+#: asyncio module-level coroutine functions (calling them makes a
+#: coroutine object; only await runs it).
+_ASYNCIO_COROUTINES = {
+    "sleep", "wait_for", "gather", "wait", "to_thread",
+    "open_connection", "start_server", "wait_closed",
+}
+
+#: Call names that return a task handle which must not be dropped.
+_TASK_FACTORIES = {"create_task", "ensure_future"}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Trailing name of the called expression, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@register
+class OrphanCoroutineRule(Rule):
+    """Coroutines must be awaited; task handles must be held."""
+
+    id = "F6"
+    category = "dataflow"
+    summary = (
+        "orphaned coroutines: a coroutine call without await never "
+        "runs; a dropped create_task handle loses exceptions and can "
+        "be garbage-collected mid-flight"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Sequence[Finding]:
+        """Scan every bare expression statement in the module."""
+        imap = build_import_map(module.tree, module.module_path)
+        async_names: Set[str] = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.AsyncFunctionDef)
+        }
+        class_async: Dict[str, Set[str]] = {}
+        for cls in module.tree.body:
+            if isinstance(cls, ast.ClassDef):
+                class_async[cls.name] = {
+                    item.name
+                    for item in cls.body
+                    if isinstance(item, ast.AsyncFunctionDef)
+                }
+        findings: List[Finding] = []
+        self._visit(
+            module, module.tree, None, imap, async_names, class_async, findings
+        )
+        findings.sort(key=lambda f: (f.line, f.col, f.message))
+        return findings
+
+    def _visit(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        cls: Optional[str],
+        imap,
+        async_names: Set[str],
+        class_async: Dict[str, Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Expr) and isinstance(child.value, ast.Call):
+                self._check_expr(
+                    module, child.value, cls, imap, async_names, class_async,
+                    findings,
+                )
+            inner_cls = child.name if isinstance(child, ast.ClassDef) else cls
+            self._visit(
+                module, child, inner_cls, imap, async_names, class_async,
+                findings,
+            )
+
+    def _check_expr(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        cls: Optional[str],
+        imap,
+        async_names: Set[str],
+        class_async: Dict[str, Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        name = _call_name(call)
+        if name is None:
+            return
+        if name in _TASK_FACTORIES:
+            findings.append(
+                module.finding(
+                    call,
+                    self.id,
+                    f"the task handle returned by {name}() is dropped; an "
+                    "exception inside the task is lost and the running "
+                    "task can be garbage-collected — bind the handle, "
+                    "track it (Supervisor-style), and await or cancel it "
+                    "on shutdown",
+                )
+            )
+            return
+        if self._is_coroutine_call(call, name, cls, imap, async_names, class_async):
+            findings.append(
+                module.finding(
+                    call,
+                    self.id,
+                    f"coroutine {name}() is never awaited — the call only "
+                    "builds a coroutine object, the body never runs; "
+                    "await it, or wrap it in asyncio.create_task and "
+                    "keep the handle",
+                )
+            )
+
+    def _is_coroutine_call(
+        self,
+        call: ast.Call,
+        name: str,
+        cls: Optional[str],
+        imap,
+        async_names: Set[str],
+        class_async: Dict[str, Set[str]],
+    ) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return name in async_names
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and cls is not None
+            ):
+                return name in class_async.get(cls, set())
+            dotted = resolve_dotted(func, imap) or ""
+            mod, _, attr = dotted.rpartition(".")
+            return mod == "asyncio" and attr in _ASYNCIO_COROUTINES
+        return False

@@ -10,7 +10,7 @@ from one or both hooks:
   module at once (R2's stage-purity reachability analysis).
 
 Importing this package loads the built-in rules R1–R5 and the dataflow
-rules F1–F3; external code can register additional rules before calling
+rules F1–F6; external code can register additional rules before calling
 the engine.  Every rule carries a ``category`` — ``"syntactic"`` for
 AST pattern checks, ``"dataflow"`` for the CFG/fixpoint analyses under
 :mod:`repro.lint.flow` — which the CLI uses to group ``--rules list``
@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Iterable, Sequence, Type
 
 from ...errors import LintError
-from ..findings import Finding
+from ..findings import Finding, RelatedSite
 
 __all__ = [
     "CATEGORIES",
@@ -61,7 +61,13 @@ class ModuleInfo:
         """Text of 1-indexed source line *n* ('' when out of range)."""
         return self.lines[n - 1] if 1 <= n <= len(self.lines) else ""
 
-    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+    def finding(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        related: tuple = (),
+    ) -> Finding:
         """Build a finding anchored at *node*."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
@@ -72,6 +78,16 @@ class ModuleInfo:
             rule=rule,
             message=message,
             snippet=self.line(line),
+            related=related,
+        )
+
+    def site(self, node: ast.AST, message: str) -> "RelatedSite":
+        """Build a :class:`RelatedSite` anchored at *node*."""
+        return RelatedSite(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
         )
 
 
@@ -153,4 +169,11 @@ def rules_by_category() -> dict[str, list[Rule]]:
 # under repro.lint.flow (they share the CFG/solver machinery) but hook
 # into the same registry.
 from . import api, determinism, exceptions, purity, rng  # noqa: E402,F401
-from ..flow import capture, shapeflow, stageflow  # noqa: E402,F401
+from ..flow import (  # noqa: E402,F401
+    atomicity,
+    blocking,
+    capture,
+    orphan,
+    shapeflow,
+    stageflow,
+)

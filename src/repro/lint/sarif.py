@@ -9,6 +9,10 @@ into inline PR annotations.  The writer emits a single-run log with
   documents its coverage;
 * one ``result`` per finding with the rule id, message, a
   ``physicalLocation`` region (line/column) and the snippet;
+* ``relatedLocations`` for multi-site dataflow findings — F4 renders
+  the read/await/write interleaving window, F5 the example call chain
+  from the coroutine root — so code scanning annotates every hop, not
+  just the reporting line;
 * ``partialFingerprints`` reusing :meth:`Finding.key` — the same
   content-keyed identity the baseline uses — so code-scanning alert
   tracking survives unrelated edits exactly like the baseline does.
@@ -66,29 +70,45 @@ def sarif_log(
     ]
     results = []
     for finding in report.findings:
-        results.append(
-            {
-                "ruleId": finding.rule,
-                "level": "error",
-                "message": {"text": finding.message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {
-                                "uri": _relative_uri(finding.path, root),
-                                "uriBaseId": "%SRCROOT%",
-                            },
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.col,
-                                "snippet": {"text": finding.snippet},
-                            },
-                        }
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path, root),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                            "snippet": {"text": finding.snippet},
+                        },
                     }
-                ],
-                "partialFingerprints": {"deshlintKey/v1": finding.key()},
-            }
-        )
+                }
+            ],
+            "partialFingerprints": {"deshlintKey/v1": finding.key()},
+        }
+        if finding.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(site.path, root),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": site.line,
+                            "startColumn": site.col,
+                        },
+                    },
+                    "message": {"text": site.message},
+                }
+                for site in finding.related
+            ]
+        results.append(result)
     return {
         "$schema": _SARIF_SCHEMA,
         "version": _SARIF_VERSION,

@@ -94,6 +94,7 @@ class ShardQueue:
             remaining = deadline - loop.time()
             if remaining <= 0 or self.closed:
                 return False
+            # deshlint: allow[F4] optimistic retry: offer() re-checks right after the clear, so a wakeup between clear and wait costs one loop turn, never a lost item
             self._space.clear()
             if self.offer(item):  # re-check after clear: no lost wakeup
                 return True
@@ -108,6 +109,7 @@ class ShardQueue:
     async def peek(self) -> object:
         """Wait for a head item and return it *without* removing it."""
         while not self._items:
+            # deshlint: allow[F4] single consumer: the while re-checks emptiness after every wait, so a stale clear costs one loop turn, never a lost wakeup
             self._not_empty.clear()
             await self._not_empty.wait()
         return self._items[0]
@@ -125,6 +127,7 @@ class ShardQueue:
         if max_items < 1:
             raise ConfigError(f"max_items must be >= 1, got {max_items}")
         while not self._items:
+            # deshlint: allow[F4] single consumer: the while re-checks emptiness after every wait, so a stale clear costs one loop turn, never a lost wakeup
             self._not_empty.clear()
             await self._not_empty.wait()
         return list(itertools.islice(self._items, max_items))
@@ -182,6 +185,12 @@ class HashDeduper:
         self.duplicates = 0
         self._ring: deque = deque(maxlen=max(1, window))
         self._counts: dict[bytes, int] = {}
+        # Digests staged by in-flight ingest batches: reserved before
+        # the backpressure await, committed (recorded) or released
+        # after.  Transient by design — never checkpointed, because a
+        # reservation's batch either commits before the checkpoint is
+        # taken or is replayed by the client after a restart.
+        self._reserved: set[bytes] = set()
 
     def digest(self, line: str) -> bytes:
         """The window digest of *line* (stable across processes)."""
@@ -212,6 +221,39 @@ class HashDeduper:
                 self._counts[oldest] = remaining
         self._ring.append(digest)
         self._counts[digest] = self._counts.get(digest, 0) + 1
+
+    # ------------------------------------------------------------------
+    # reservation protocol (concurrent ingest batches)
+    # ------------------------------------------------------------------
+    def reserve(self, digest: bytes) -> bool:
+        """Atomically test-and-stage *digest* for admission.
+
+        ``contains`` + later ``record`` is a check-then-act: when the
+        admission decision sits on the far side of an await (ingest
+        waits out backpressure before recording), a concurrent batch
+        carrying the same line passes the ``contains`` check too and
+        the duplicate is admitted twice.  ``reserve`` closes the race
+        without a lock — it runs synchronously before the await, so
+        the second batch sees the reservation and dedups against it.
+
+        Returns ``False`` when the digest is already in the window or
+        already reserved by an in-flight batch.
+        """
+        if self.window == 0:
+            return True
+        if digest in self._counts or digest in self._reserved:
+            return False
+        self._reserved.add(digest)
+        return True
+
+    def release(self, digest: bytes) -> None:
+        """Drop a reservation without recording it (the batch was shed)."""
+        self._reserved.discard(digest)
+
+    def commit_reserved(self, digest: bytes) -> None:
+        """Record a reserved digest into the window (batch admitted)."""
+        self._reserved.discard(digest)
+        self.record(digest)
 
     def seen(self, line: str) -> bool:
         """Record *line*; True when it duplicates one in the window."""
@@ -245,6 +287,7 @@ class HashDeduper:
             )
         self._ring.clear()
         self._counts.clear()
+        self._reserved.clear()
         self.duplicates = int(state["duplicates"])
         for hexdigest in state["ring"]:
             digest = bytes.fromhex(hexdigest)

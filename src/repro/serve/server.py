@@ -80,24 +80,30 @@ class HttpServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        # Serializes start/stop: both check-then-act on _server across
+        # an await, so concurrent lifecycle calls would otherwise race
+        # (double-bind, or stop() closing a half-started listener).
+        self._lifecycle = asyncio.Lock()
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting; ``port`` 0 picks a free port."""
-        if self._server is not None:
-            raise ConfigError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        async with self._lifecycle:
+            if self._server is not None:
+                raise ConfigError("server already started")
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
         """Stop accepting connections and close the listener."""
-        if self._server is None:
-            return
-        self._server.close()
-        await self._server.wait_closed()
-        self._server = None
+        async with self._lifecycle:
+            if self._server is None:
+                return
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
 
     # ------------------------------------------------------------------
     async def _handle_connection(

@@ -359,15 +359,17 @@ class PredictionService:
             return result
         batches: list[list[str]] = [[] for _ in self._shards]
         digests: list[list[bytes]] = [[] for _ in self._shards]
-        staged: set[bytes] = set()
         for line in lines:
             if self.dedup.window > 0:
                 digest = self.dedup.digest(line)
-                if self.dedup.contains(digest) or digest in staged:
+                # reserve() is the atomic check-then-stage: it runs
+                # before any await, so a concurrent ingest carrying the
+                # same line dedups against the reservation instead of
+                # racing the post-backpressure record().
+                if not self.dedup.reserve(digest):
                     result.deduped += 1
                     self.dedup.duplicates += 1
                     continue
-                staged.add(digest)
             else:
                 digest = b""
             index = self.router.shard_of_line(line)
@@ -387,10 +389,15 @@ class PredictionService:
                 # of a shed batch is not mistaken for a duplicate.
                 if self.dedup.window > 0:
                     for digest in batch_digests:
-                        self.dedup.record(digest)
+                        # deshlint: allow[F4] safe: the digest was reserved before the await, which made the check-then-act atomic; commit only promotes already-staged state
+                        self.dedup.commit_reserved(digest)
             else:
                 result.shed += len(batch)
                 result.shed_lines.extend(batch)
+                if self.dedup.window > 0:
+                    for digest in batch_digests:
+                        # deshlint: allow[F4] safe: dropping a pre-await reservation leaves no window state, so the client retry of this shed batch is admitted
+                        self.dedup.release(digest)
             registry.gauge(f"serve.shard{shard.index}.queue_depth").set(
                 shard.queue.depth
             )

@@ -214,12 +214,19 @@ class Supervisor:
         return out
 
     async def stop(self) -> None:
-        """Cancel all worker tasks and wait for them to unwind."""
+        """Cancel all worker tasks and wait for them to unwind.
+
+        The task list is detached *before* the first await: a second
+        concurrent ``stop()`` (or a ``start()`` racing shutdown) then
+        sees an empty list instead of re-cancelling tasks the first
+        call is already gathering — the write happens while the state
+        is still atomic with the read.
+        """
         self._stopping = True
-        for task in self._tasks:
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
             task.cancel()
-        if self._tasks:
-            await asyncio.gather(*self._tasks, return_exceptions=True)
-        self._tasks = []
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
         for state in self.states:
             state.running = False

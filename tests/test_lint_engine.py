@@ -237,6 +237,56 @@ class TestCliLint:
         assert region["startLine"] == 3
         assert "deshlintKey/v1" in results[0]["partialFingerprints"]
 
+    def test_sarif_related_locations_for_dataflow_findings(self, tmp_path):
+        """F4's interleaving window renders as SARIF relatedLocations.
+
+        Multi-site dataflow findings must annotate every hop (read,
+        await) in code scanning, not just the write that fires.
+        """
+        bad = tmp_path / "racer.py"
+        bad.write_text(
+            textwrap.dedent(
+                '''
+                """Doc."""
+
+                import asyncio
+
+
+                class Counter:
+                    def __init__(self):
+                        self.value = 0
+
+                    async def bump(self):
+                        current = self.value
+                        await asyncio.sleep(0)
+                        self.value = current + 1
+                '''
+            )
+        )
+        from repro.lint.sarif import sarif_log
+
+        rules = get_rules(["F4"])
+        report = lint_paths([bad], rules=rules)
+        assert len(report.findings) == 1
+        assert len(report.findings[0].related) == 2
+
+        log = sarif_log(report, rules, root=tmp_path)
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "F4"
+        related = result["relatedLocations"]
+        assert len(related) == 2
+        first, second = related
+        assert "interleaving window opens" in first["message"]["text"]
+        assert "yields to the event loop" in second["message"]["text"]
+        # the read site (line 12) and the await site (line 13)
+        assert first["physicalLocation"]["region"]["startLine"] == 12
+        assert second["physicalLocation"]["region"]["startLine"] == 13
+        assert (
+            first["physicalLocation"]["artifactLocation"]["uri"] == "racer.py"
+        )
+        # related sites ride through --json output too
+        assert report.findings[0].to_dict()["related"][0]["line"] == 12
+
     def test_rules_listing_grouped_by_category(self, tmp_path):
         run = self._run("--rules", cwd=tmp_path)
         assert run.returncode == 0
@@ -282,4 +332,6 @@ class TestRegistry:
         assert list(grouped) == ["syntactic", "dataflow"]
         flattened = {r.id for rules in grouped.values() for r in rules}
         assert flattened == {r.id for r in all_rules()}
-        assert {r.id for r in grouped["dataflow"]} == {"F1", "F2", "F3"}
+        assert {r.id for r in grouped["dataflow"]} == {
+            "F1", "F2", "F3", "F4", "F5", "F6",
+        }

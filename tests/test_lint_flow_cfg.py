@@ -106,6 +106,130 @@ def test_with_block_sequenced_linearly():
     )
 
 
+# ----------------------------------------------------------------------
+# async constructs: every await point renders as a `~` yield marker
+# ----------------------------------------------------------------------
+def test_async_with_marks_acquire_and_body_awaits():
+    got = _describe(
+        """
+        async def f(self, x):
+            async with self._lock:
+                y = await fetch(x)
+            return y
+        """
+    )
+    assert got == (
+        # AsyncWith~ : __aenter__ awaits while acquiring; Assign~ : the
+        # body await.  Return runs lock-held-to-released, no yield.
+        "b0[AsyncWith~,Assign~,Return] -> b1\n"
+        "b1[-] (exit) -> -"
+    )
+
+
+def test_async_for_with_else_clause():
+    got = _describe(
+        """
+        async def f(self, items):
+            total = 0
+            async for item in items:
+                total += item
+            else:
+                mark(total)
+            return total
+        """
+    )
+    assert got == (
+        "b0[Assign] -> b2\n"
+        "b1[-] (exit) -> -\n"
+        "b2[AsyncFor~] -> b4,b5\n"  # head awaits __anext__ per element
+        "b3[Return] -> b1\n"
+        "b4[AugAssign] -> b2\n"  # back edge; body itself never yields
+        "b5[Expr] -> b3"
+    )
+
+
+def test_awaits_inside_comprehensions_mark_the_statement():
+    got = _describe(
+        """
+        async def f(self, xs):
+            pairs = [await g(x) for x in xs]
+            names = {x async for x in aiter(xs)}
+            return pairs, names
+        """
+    )
+    assert got == (
+        # Comprehensions never split blocks, but an `await` (or `async
+        # for`) inside one still yields — both assigns carry the marker.
+        "b0[Assign~,Assign~,Return] -> b1\n"
+        "b1[-] (exit) -> -"
+    )
+
+
+def test_try_finally_around_await():
+    got = _describe(
+        """
+        async def f(self):
+            try:
+                await self._run()
+            except ValueError:
+                log()
+            finally:
+                await self._close()
+        """
+    )
+    assert got == (
+        "b0[Try] -> b3\n"
+        "b1[-] (exit) -> -\n"
+        "b2[Expr] -> b4\n"  # handler joins into finally
+        "b3[Expr~] -> b2,b4\n"  # awaited body may raise into the handler
+        "b4[Expr~] -> b5\n"  # the finally itself awaits
+        "b5[-] -> b1"
+    )
+
+
+def test_create_task_is_not_a_yield_point_but_gather_is():
+    got = _describe(
+        """
+        async def f(self):
+            task = asyncio.create_task(self._run(0))
+            results = await asyncio.gather(task, self._run(1))
+            return results
+        """
+    )
+    assert got == (
+        # create_task schedules without yielding (plain Assign); the
+        # awaited gather is the suspension point (Assign~).
+        "b0[Assign,Assign~,Return] -> b1\n"
+        "b1[-] (exit) -> -"
+    )
+
+
+def test_sync_functions_never_carry_yield_markers():
+    got = _describe(
+        """
+        def f(x):
+            with open(x) as fh:
+                data = fh.read()
+            return data
+        """
+    )
+    assert "~" not in got
+
+
+def test_nested_def_awaits_do_not_leak_into_the_outer_function():
+    got = _describe(
+        """
+        async def f(self):
+            async def inner():
+                await self._run()
+            return inner
+        """
+    )
+    # inner's await belongs to inner's coroutine: no marker on the
+    # enclosing statements.
+    assert "~" not in got
+
+
 def test_rpo_starts_at_entry_and_covers_reachable_blocks():
     cfg = _cfg(
         """

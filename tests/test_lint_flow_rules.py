@@ -1,10 +1,12 @@
 """Behavioural tests for the dataflow rules F1 (shape flow), F2 (stage
-artifact flow) and F3 (parallel capture).
+artifact flow), F3 (parallel capture), F4 (async atomicity), F5
+(blocking calls reachable from coroutines) and F6 (orphaned coroutines).
 
 Every analysis gets at least one bad snippet proving it fires and one
 good snippet proving it stays silent; F1's good snippets double as
 no-false-positive regression cases for the provable-only policy
-(symbolic dims are never reported).
+(symbolic dims are never reported), and F4/F5's good snippets pin the
+lock-protected / to_thread / sync-boundary counterparts.
 """
 
 import textwrap
@@ -467,5 +469,303 @@ def test_f3_silent_on_bound_method_worker():
             return ordered_parallel_map(predictor.predict, shards)
         """,
         "F3",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# F4 — async atomicity
+# ----------------------------------------------------------------------
+def test_f4_fires_on_minimal_rmw_across_await():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            async def bump(self):
+                current = self.value
+                await asyncio.sleep(0)
+                self.value = current + 1
+        """,
+        "F4",
+    )
+    assert [f.rule for f in findings] == ["F4"]
+    message = findings[0].message
+    assert "Counter.bump" in message
+    assert "self.value" in message
+    # the full interleaving window is reported ...
+    assert "read at line 9" in message
+    assert "await at line 10" in message
+    # ... and doubles as related locations for SARIF
+    assert len(findings[0].related) == 2
+    assert findings[0].related[0].line == 9
+
+
+def test_f4_fires_on_check_then_act_mutator_call():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Registry:
+            def __init__(self):
+                self.items = []
+
+            async def add_once(self, item):
+                if item not in self.items:
+                    await asyncio.sleep(0)
+                    self.items.append(item)
+        """,
+        "F4",
+    )
+    assert len(findings) == 1
+    assert "self.items" in findings[0].message
+
+
+def test_f4_fires_when_lock_released_at_the_await():
+    # Two critical sections with the await between them do NOT make the
+    # window atomic — the lock must span the await.
+    findings = _lint(
+        """
+        import asyncio
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+                self._lock = asyncio.Lock()
+
+            async def bump(self):
+                async with self._lock:
+                    current = self.value
+                await asyncio.sleep(0)
+                async with self._lock:
+                    self.value = current + 1
+        """,
+        "F4",
+    )
+    assert len(findings) == 1
+    assert "no single lock spans the window" in findings[0].message
+
+
+def test_f4_silent_when_lock_held_across_the_window():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+                self._lock = asyncio.Lock()
+
+            async def bump(self):
+                async with self._lock:
+                    current = self.value
+                    await asyncio.sleep(0)
+                    self.value = current + 1
+        """,
+        "F4",
+    )
+    assert findings == []
+
+
+def test_f4_silent_when_write_precedes_the_await():
+    # No await inside the read->write window: the sequence is atomic on
+    # a single event loop by construction.
+    findings = _lint(
+        """
+        import asyncio
+
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            async def bump(self):
+                self.value += 1
+                await asyncio.sleep(0)
+        """,
+        "F4",
+    )
+    assert findings == []
+
+
+def test_f4_single_writer_justification_suppresses():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Gate:
+            def __init__(self):
+                self._event = asyncio.Event()
+
+            async def wait_turn(self):
+                while not self._event.is_set():
+                    # deshlint: allow[F4] single consumer re-checks after every wait
+                    self._event.clear()
+                    await self._event.wait()
+        """,
+        "F4",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# F5 — blocking calls reachable from coroutines
+# ----------------------------------------------------------------------
+def test_f5_fires_on_sleep_behind_two_sync_layers():
+    findings = _lint(
+        """
+        import time
+
+        def _io():
+            time.sleep(5)
+
+        def _mid():
+            return _io()
+
+        async def serve_forever():
+            _mid()
+        """,
+        "F5",
+    )
+    assert [f.rule for f in findings] == ["F5"]
+    message = findings[0].message
+    assert "time.sleep" in message
+    # the example call chain names every hop from the coroutine root
+    assert "serve_forever -> _mid -> _io" in message
+    assert len(findings[0].related) == 3
+
+
+def test_f5_fires_on_heavy_fit_entry_point():
+    findings = _lint(
+        """
+        class Model:
+            def fit(self, x):
+                return x
+
+        class Service:
+            async def retrain(self, model, data):
+                model.fit(data)
+        """,
+        "F5",
+    )
+    assert len(findings) == 1
+    assert "Model.fit" in findings[0].message
+    assert "heavy" in findings[0].message
+
+
+def test_f5_silent_when_blocking_work_is_behind_to_thread():
+    findings = _lint(
+        """
+        import asyncio
+        import time
+
+        def _io():
+            time.sleep(5)
+
+        async def serve_forever():
+            await asyncio.to_thread(_io)
+        """,
+        "F5",
+    )
+    assert findings == []
+
+
+def test_f5_silent_on_blocking_code_unreachable_from_async():
+    findings = _lint(
+        """
+        import time
+
+        def housekeeping():
+            time.sleep(1)
+
+        async def tick():
+            return 2
+        """,
+        "F5",
+    )
+    assert findings == []
+
+
+def test_f5_sync_boundary_allowlist_cuts_the_walk():
+    # save_service_checkpoint is a reviewed synchronous boundary: its
+    # file I/O is deliberate and must not flag.
+    findings = _lint(
+        """
+        def save_service_checkpoint(path, state):
+            with open(path, "w") as fh:
+                fh.write(str(state))
+
+        async def snapshot():
+            return save_service_checkpoint("ckpt.json", {})
+        """,
+        "F5",
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# F6 — orphaned coroutines
+# ----------------------------------------------------------------------
+def test_f6_fires_on_dropped_create_task_handle():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Service:
+            async def _run(self):
+                await asyncio.sleep(0)
+
+            async def start(self):
+                asyncio.create_task(self._run())
+        """,
+        "F6",
+    )
+    assert [f.rule for f in findings] == ["F6"]
+    assert "create_task" in findings[0].message
+    assert "dropped" in findings[0].message
+
+
+def test_f6_fires_on_unawaited_coroutine_calls():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Service:
+            async def _run(self):
+                await asyncio.sleep(0)
+
+            async def poke(self):
+                self._run()
+
+        async def main():
+            asyncio.sleep(1)
+        """,
+        "F6",
+    )
+    assert len(findings) == 2
+    assert all("never awaited" in f.message for f in findings)
+
+
+def test_f6_silent_on_held_handles_and_awaited_calls():
+    findings = _lint(
+        """
+        import asyncio
+
+        class Service:
+            async def _run(self):
+                await asyncio.sleep(0)
+
+            async def start(self):
+                self._task = asyncio.create_task(self._run())
+
+            async def poke(self):
+                await self._run()
+
+            async def fanout(self):
+                await asyncio.gather(self._run(), self._run())
+        """,
+        "F6",
     )
     assert findings == []

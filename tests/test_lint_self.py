@@ -1,7 +1,7 @@
 """Tier-1 self-lint gate: the repo's own source must pass deshlint.
 
 This is the same check CI runs via ``repro lint``: every rule (the
-syntactic R1-R5 plus the dataflow F1-F3) over the installed ``repro``
+syntactic R1-R5 plus the dataflow F1-F6) over the installed ``repro``
 package, with the checked-in baseline applied.  Any new finding turns
 the suite red.
 """
@@ -42,16 +42,31 @@ def test_baseline_carries_no_stale_entries():
 
 
 def test_dataflow_rules_clean_with_empty_baseline():
-    """F1-F3 hold over the tree without any grandfathered debt.
+    """F1-F6 hold over the tree without any grandfathered debt.
 
     The dataflow analyses were introduced with a clean slate: the
-    checked-in baseline must stay empty, and running only F1-F3 (no
+    checked-in baseline must stay empty, and running only F1-F6 (no
     baseline at all) must produce zero findings.  If an analysis change
     starts flagging the repo, fix or ``allow[...]``-annotate the site —
     don't grandfather it.
     """
     entries = json.loads(BASELINE_PATH.read_text())["entries"]
     assert entries == [], "lint-baseline.json must stay empty"
-    report = lint_paths([PACKAGE_DIR], rules=get_rules(["F1", "F2", "F3"]))
+    report = lint_paths(
+        [PACKAGE_DIR],
+        rules=get_rules(["F1", "F2", "F3", "F4", "F5", "F6"]),
+    )
     rendered = "\n".join(f.render() for f in report.findings)
     assert not report.findings, f"dataflow rules flag the repo:\n{rendered}"
+
+
+def test_parallel_jobs_report_matches_serial():
+    """``--jobs N`` must be a pure speedup: identical findings, order
+    included, to the serial run — the determinism contract of
+    ``ordered_parallel_map`` extended to the lint engine itself."""
+    serial = lint_paths([PACKAGE_DIR / "serve"], jobs=1)
+    parallel = lint_paths([PACKAGE_DIR / "serve"], jobs=4)
+    assert [f.to_dict() for f in serial.findings] == [
+        f.to_dict() for f in parallel.findings
+    ]
+    assert serial.modules == parallel.modules

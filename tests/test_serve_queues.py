@@ -208,6 +208,41 @@ class TestHashDeduper:
         dedup.record(digest)
         assert dedup.contains(digest)  # accepted now; third copy dedups
 
+    def test_reserve_blocks_in_flight_duplicates_until_resolved(self):
+        # The reservation protocol closes the check-then-act window in
+        # ingest: the digest is staged before any await, so a concurrent
+        # batch carrying the same line dedups against the reservation.
+        dedup = HashDeduper(8)
+        digest = dedup.digest("in flight")
+        assert dedup.reserve(digest)
+        assert not dedup.reserve(digest)  # concurrent twin: deduped
+        dedup.release(digest)  # shed: reservation leaves no trace...
+        assert not dedup.contains(digest)
+        assert dedup.reserve(digest)  # ...so the client retry is admitted
+        dedup.commit_reserved(digest)  # admitted: promoted to the window
+        assert dedup.contains(digest)
+        assert not dedup.reserve(digest)
+
+    def test_reserve_with_zero_window_always_admits(self):
+        dedup = HashDeduper(0)
+        assert dedup.reserve(b"x")
+        assert dedup.reserve(b"x")
+
+    def test_reservations_are_transient_not_checkpointed(self):
+        dedup = HashDeduper(8)
+        committed = dedup.digest("committed line")
+        in_flight = dedup.digest("in-flight line")
+        assert dedup.reserve(committed)
+        dedup.commit_reserved(committed)
+        assert dedup.reserve(in_flight)
+
+        restored = HashDeduper(8)
+        restored.load_state_dict(dedup.state_dict())
+        assert restored.contains(committed)
+        # A reservation is pre-admission state: it must not survive a
+        # restore, or a crashed ingest would pin its lines forever.
+        assert restored.reserve(in_flight)
+
     def test_state_dict_round_trip(self):
         dedup = HashDeduper(4)
         for line in ["a", "b", "a", "c"]:

@@ -141,6 +141,37 @@ class TestIngest:
         assert result.accepted == 0
         assert result.retry_after is not None
 
+    def test_concurrent_ingest_of_same_line_admits_it_once(
+        self, trained_model, lines
+    ):
+        # Regression for the dedup check-then-act race: the window
+        # membership test used to run before the backpressure await
+        # while record() ran after it, so two concurrent batches
+        # carrying the same line could both pass the check and both be
+        # admitted.  reserve() now stages the digest before any await.
+        async def run():
+            config = _config(
+                num_shards=1, queue_depth=2, backpressure_wait=1.0
+            )
+            service = PredictionService(trained_model, config)
+            service._accepting = True  # ingest path without live workers
+            queue = service._shards[0].queue
+            # Fill the queue so both ingests block in offer_wait with
+            # their dedup decision already made.
+            assert queue.offer(("lines", [lines[1]]))
+            assert queue.offer(("lines", [lines[2]]))
+            first = asyncio.create_task(service.ingest_lines([lines[0]]))
+            second = asyncio.create_task(service.ingest_lines([lines[0]]))
+            await asyncio.sleep(0.05)
+            queue.commit()  # open space for *both* waiters
+            queue.commit()
+            return await asyncio.gather(first, second)
+
+        first, second = asyncio.run(run())
+        assert first.accepted + second.accepted == 1
+        assert first.deduped + second.deduped == 1
+        assert first.shed + second.shed == 0
+
 
 class TestPredict:
     def test_predict_over_live_service(self, trained_model, lines):
@@ -415,6 +446,31 @@ class TestLifecycleAndIntrospection:
             status = service.node_status(str(nodes[0]))
             assert status["open_events"] > 0
             assert status["shard"] == 0
+
+    def test_stop_drains_every_queue_before_cancelling_workers(
+        self, trained_model, lines
+    ):
+        # Shutdown ordering contract: stop() closes the queues, joins
+        # each one, and only then cancels the workers — so no worker is
+        # ever cancelled while holding an uncommitted peek.  Observable
+        # as: every admitted item is committed by the time stop()
+        # returns, with nothing left queued.
+        async def run():
+            service = PredictionService(trained_model, _config())
+            await service.start(restore=False)
+            result = await service.ingest_lines(lines[:400])
+            await service.stop(checkpoint=False)
+            return service, result
+
+        service, result = asyncio.run(run())
+        assert result.accepted == 400
+        for shard in service._shards:
+            assert shard.queue.depth == 0
+            assert shard.queue.committed == shard.queue.offered
+        processed = sum(
+            s["lines_processed"] for s in service.health()["shards"]
+        )
+        assert processed == 400
 
     def test_double_start_rejected(self, trained_model):
         async def run():

@@ -138,6 +138,35 @@ class TestSupervisor:
         assert sorted(ran) == [0, 1]
         assert supervisor.total_restarts == 0
 
+    def test_concurrent_stops_cancel_each_worker_exactly_once(self):
+        # Regression: stop() used to read self._tasks, await the
+        # gather, and only then clear the list — a second concurrent
+        # stop() (or a start() racing shutdown) saw the stale list and
+        # re-cancelled tasks mid-unwind.  The list is now detached
+        # before the first await, so the window is gone.
+        async def run():
+            unwound = []
+
+            async def worker(index):
+                try:
+                    await asyncio.Event().wait()
+                except asyncio.CancelledError:
+                    unwound.append(index)
+                    raise
+
+            supervisor = Supervisor(
+                worker, 2, policy=RestartPolicy(base_delay=0.001, jitter=0.0)
+            )
+            await supervisor.start()
+            await asyncio.sleep(0.02)
+            await asyncio.gather(supervisor.stop(), supervisor.stop())
+            return supervisor, unwound
+
+        supervisor, unwound = asyncio.run(run())
+        assert sorted(unwound) == [0, 1]
+        assert supervisor._tasks == []
+        assert all(not state.running for state in supervisor.states)
+
     def test_deterministic_jitter_across_supervisors(self):
         a = Supervisor(lambda i: None, 1, seed=42)
         b = Supervisor(lambda i: None, 1, seed=42)
