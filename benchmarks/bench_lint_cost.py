@@ -2,15 +2,21 @@
 
 The self-lint gate runs in tier-1 CI on every push, so its wall time is
 part of the edit-test loop.  Budget: one full pass over ``src/repro``
-(~120 modules, all syntactic *and* dataflow rules, suppressions +
-baseline applied) in under 15 seconds.  The super-linear pieces are
+(~130 modules, syntactic *and* dataflow *and* perf rules, suppressions
++ baseline applied) in under 15 seconds.  The super-linear pieces are
 timed separately to catch complexity regressions early:
 
 * the R2 reachability pass builds a whole-project call graph;
 * the F1-F3 dataflow pass builds a CFG per function and iterates the
   shape domain to a fixpoint;
 * the F4-F6 async pass adds the lockset fixpoint per coroutine plus a
-  second call-graph walk rooted at every async def (F5).
+  second call-graph walk rooted at every async def (F5);
+* the P1-P3 perf pass solves reaching definitions per function and
+  replays them per statement for loop-invariance proofs.
+
+Every registered rule is also timed *individually* over a single
+pre-parsed module set, so a budget failure names the rules actually
+responsible instead of just the family.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from pathlib import Path
 
 import repro
 from repro.lint import all_rules, get_rules, lint_paths
+from repro.lint.engine import lint_modules, load_modules
 
 BUDGET_SECONDS = 15.0
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
@@ -27,6 +34,7 @@ PACKAGE_DIR = Path(repro.__file__).resolve().parent
 #: Rule ids by analysis family, kept in sync with Rule.category.
 SYNTACTIC = ["R1", "R2", "R3", "R4", "R5"]
 DATAFLOW = ["F1", "F2", "F3", "F4", "F5", "F6"]
+PERF = ["P1", "P2", "P3"]
 #: The deshrace trio: the async-aware subset of the dataflow family.
 ASYNC_RULES = ["F4", "F5", "F6"]
 
@@ -37,8 +45,27 @@ def _timed_lint(rules=None) -> "tuple[float, int]":
     return time.perf_counter() - start, report.modules
 
 
+def _per_rule_seconds(modules) -> "dict[str, float]":
+    """Wall seconds per registered rule over pre-parsed *modules*.
+
+    Parsing is paid once up front (``load_modules``), so these numbers
+    isolate each rule's analysis cost — the thing a complexity
+    regression actually changes.
+    """
+    seconds: "dict[str, float]" = {}
+    for rule in all_rules():
+        start = time.perf_counter()
+        lint_modules(modules, rules=get_rules([rule.id]))
+        seconds[rule.id] = time.perf_counter() - start
+    return seconds
+
+
 def test_rule_family_constants_match_registry():
-    by_category = {"syntactic": SYNTACTIC, "dataflow": DATAFLOW}
+    by_category = {
+        "syntactic": SYNTACTIC,
+        "dataflow": DATAFLOW,
+        "perf": PERF,
+    }
     registered = {}
     for rule in all_rules():
         registered.setdefault(rule.category, []).append(rule.id)
@@ -53,29 +80,39 @@ def test_full_repo_lint_under_budget(capsys):
     full_seconds, modules = _timed_lint()
     syntactic_seconds, _ = _timed_lint(rules=get_rules(SYNTACTIC))
     dataflow_seconds, _ = _timed_lint(rules=get_rules(DATAFLOW))
-    r2_seconds, _ = _timed_lint(rules=get_rules(["R2"]))
-    f1_seconds, _ = _timed_lint(rules=get_rules(["F1"]))
+    perf_seconds, _ = _timed_lint(rules=get_rules(PERF))
     async_seconds, _ = _timed_lint(rules=get_rules(ASYNC_RULES))
+
+    parsed, _errors = load_modules([PACKAGE_DIR])
+    per_rule = _per_rule_seconds(parsed)
+    slowest = sorted(per_rule, key=per_rule.get, reverse=True)
 
     with capsys.disabled():
         print()
-        print(f"full lint (R1-R5, F1-F6) {full_seconds:6.2f}s  ({modules} modules)")
+        print(
+            f"full lint (R/F/P)        {full_seconds:6.2f}s  "
+            f"({modules} modules)"
+        )
         print(f"  syntactic (R1-R5)      {syntactic_seconds:6.2f}s")
-        print(f"    R2 reachability      {r2_seconds:6.2f}s")
         print(f"  dataflow (F1-F6)       {dataflow_seconds:6.2f}s")
-        print(f"    F1 shape fixpoint    {f1_seconds:6.2f}s")
         print(f"    F4-F6 async passes   {async_seconds:6.2f}s")
+        print(f"  perf (P1-P3)           {perf_seconds:6.2f}s")
+        print("  per rule (parse excluded):")
+        for rule_id in slowest:
+            print(f"    {rule_id:<4}                 {per_rule[rule_id]:6.2f}s")
         print(f"budget                   {BUDGET_SECONDS:6.2f}s")
 
+    top3 = ", ".join(
+        f"{rule_id}={per_rule[rule_id]:.2f}s" for rule_id in slowest[:3]
+    )
     assert modules > 90
     assert full_seconds < BUDGET_SECONDS, (
         f"full-repo lint took {full_seconds:.2f}s, budget is "
-        f"{BUDGET_SECONDS:.1f}s"
+        f"{BUDGET_SECONDS:.1f}s; slowest rules: {top3}"
     )
-    # The dataflow pass must not dwarf the syntactic pass: it runs per
-    # function, so a superlinear regression shows up here first.
-    assert dataflow_seconds < BUDGET_SECONDS
-    # The async trio alone must stay well inside the budget: F5 walks
-    # the call graph once per coroutine root, which is the newest
-    # superlinear surface.
-    assert async_seconds < BUDGET_SECONDS
+    # No family may dwarf the budget on its own: each pass runs per
+    # function, so a superlinear regression shows up here first — the
+    # assertion message names the individual rules responsible.
+    assert dataflow_seconds < BUDGET_SECONDS, f"slowest rules: {top3}"
+    assert async_seconds < BUDGET_SECONDS, f"slowest rules: {top3}"
+    assert perf_seconds < BUDGET_SECONDS, f"slowest rules: {top3}"

@@ -51,6 +51,35 @@ __all__ = [
 ]
 
 
+def _passing_windows(
+    mses: np.ndarray,
+    *,
+    history: int,
+    pad_len: int,
+    n_real: int,
+    flag_position: int,
+    threshold: float,
+) -> np.ndarray:
+    """Window indices whose MSE passes the flag test, in window order.
+
+    Window ``w`` predicts padded sample ``w + history``; subtracting the
+    padding gives the real event index under decision.  A window passes
+    when that index is a real event at or past ``flag_position`` and its
+    MSE is at or below ``threshold``.  One vectorized pass over the
+    whole episode keeps the per-window cost of the measured
+    ``phase3.prediction_ms`` path flat.
+    """
+    if not len(mses):
+        return np.empty(0, dtype=np.intp)
+    real_idx = np.arange(len(mses)) + history - pad_len
+    ok = (
+        (real_idx >= flag_position)
+        & (real_idx < n_real)
+        & (mses <= threshold)
+    )
+    return np.nonzero(ok)[0]
+
+
 @dataclass(frozen=True)
 class EpisodeVerdict:
     """Scoring outcome for one candidate episode."""
@@ -199,21 +228,24 @@ class Phase3Predictor:
         for skip in range(0, max_skip + 1):
             timestamps = all_ts[skip:]
             x, y, pad_len = self._episode_windows(timestamps, all_ids[skip:])
-            mses = self.scaler.mse_paper_units(self.regressor.predict(x), y)
+            mses: np.ndarray = self.scaler.mse_paper_units(
+                self.regressor.predict(x), y
+            )
             windows_scored += len(mses)
             if len(mses):
                 best_mse = min(best_mse, float(np.min(mses)))
-            passing: list[tuple[int, float]] = []
-            for w, mse in enumerate(mses):
-                # Window w predicts padded sample (w + history); subtract
-                # the padding to find the suffix event index under decision.
-                real_idx = w + cfg.history_size - pad_len
-                if real_idx < cfg.flag_position or real_idx >= len(timestamps):
-                    continue
-                if mse <= cfg.mse_threshold:
-                    passing.append((skip + real_idx, float(mse)))
-            if len(passing) >= cfg.confirmation_windows:
-                decision_index, mse = passing[0]
+            hits = _passing_windows(
+                mses,
+                history=cfg.history_size,
+                pad_len=pad_len,
+                n_real=len(timestamps),
+                flag_position=cfg.flag_position,
+                threshold=cfg.mse_threshold,
+            )
+            if len(hits) >= cfg.confirmation_windows:
+                first = int(hits[0])
+                decision_index = skip + first + cfg.history_size - pad_len
+                mse = float(mses[first])
                 decision_time = float(all_ts[decision_index])
                 candidate = EpisodeVerdict(
                     episode=episode,

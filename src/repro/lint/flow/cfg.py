@@ -108,11 +108,20 @@ def is_yield_point(stmt: ast.stmt) -> bool:
 
 @dataclass
 class Block:
-    """One basic block: a run of statements with a single entry point."""
+    """One basic block: a run of statements with a single entry point.
+
+    ``loops`` names the enclosing loops as a tuple of loop-head block
+    ids, outermost first — a loop's head block is a member of its own
+    loop (its test/target binding re-executes every iteration), while
+    the ``after`` block that control falls into on exit is not.  The
+    perf analyses use this to decide whether a definition site lies
+    inside or outside a given loop.
+    """
 
     id: int
     stmts: List[ast.stmt] = field(default_factory=list)
     succs: List[int] = field(default_factory=list)
+    loops: "tuple[int, ...]" = ()
 
     def add_succ(self, target: int) -> None:
         """Add an edge to *target*, keeping the successor list deduped."""
@@ -187,16 +196,19 @@ class _Builder:
 
     def __init__(self) -> None:
         self.blocks: List[Block] = []
-        self.entry = self._new_block().id
-        self.exit = self._new_block().id
         #: (head_id, after_id) per enclosing loop, innermost last.
         self.loops: List[tuple[int, int]] = []
         #: Handler-entry block ids per enclosing try, innermost last.
         self.handlers: List[List[int]] = []
+        self.entry = self._new_block().id
+        self.exit = self._new_block().id
 
     # ------------------------------------------------------------------
     def _new_block(self) -> Block:
-        block = Block(id=len(self.blocks))
+        block = Block(
+            id=len(self.blocks),
+            loops=tuple(head for head, _ in self.loops),
+        )
         self.blocks.append(block)
         return block
 
@@ -269,11 +281,14 @@ class _Builder:
     def _lower_loop(self, stmt: ast.stmt, current: int) -> int:
         head = self._new_block()
         head.stmts.append(stmt)  # head: evaluates test / binds target
+        # The head re-executes every iteration, so it belongs to its own
+        # loop; ``after`` is created before the push and stays outside.
+        head.loops = head.loops + (head.id,)
         self.blocks[current].add_succ(head.id)
         after = self._new_block()
+        self.loops.append((head.id, after.id))
         body_entry = self._new_block()
         head.add_succ(body_entry.id)
-        self.loops.append((head.id, after.id))
         body_exit = self.lower(stmt.body, body_entry.id)
         self.loops.pop()
         if body_exit is not None:

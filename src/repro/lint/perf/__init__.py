@@ -1,0 +1,52 @@
+"""deshheat — CFG-backed performance analysis for deshlint.
+
+The Desh reproduction's headline systems claim is per-prediction
+latency (Fig. 10: 0.65 ms), and the ROADMAP's north star is "as fast
+as the hardware allows".  This package adds the rule family that
+polices it statically:
+
+=====  ==============================================================
+P1     Vectorization — Python-level loops that iterate an ndarray
+       applying per-element numpy ops, per-iteration ufunc calls over
+       loop-indexed slices, and growth-by-concatenation
+       (``arr = np.concatenate(...)`` reassigned inside a loop).
+P2     Allocation in loop — array constructors, non-empty dict/list
+       builds and un-gated eagerly-formatted logging in loop bodies
+       whose arguments are *provably* loop-invariant (a reaching-
+       definitions pass on the deshflow solver), reported with the
+       exact invariant operand chain.
+P3     Hidden quadratics — ``list.insert(0, ...)``, ``in`` membership
+       tests against lists built in the same function, and repeated
+       ``str``/``ndarray`` ``+=``-style accumulation in loops.
+=====  ==============================================================
+
+All three reuse the deshflow CFG (loop-nesting annotations on
+:class:`~repro.lint.flow.cfg.Block`) and the generic worklist solver;
+the shared machinery lives in :mod:`~repro.lint.perf.invariant`
+(reaching definitions + loop-invariance proofs) and
+:mod:`~repro.lint.perf.typeinfo` (syntactic local kind inference).
+
+The profile-guided half lives in :mod:`~repro.lint.perf.profile`: a
+reader for ``repro trace`` JSONL span exports and metrics-registry
+snapshots that attributes measured milliseconds to qualified function
+names, ranks findings by hotness, and escalates findings on the
+measured prediction/fit paths to error-level SARIF severity while
+demoting cold-code findings to notes.
+"""
+
+from .invariant import PARAM_SITE, FunctionFlow
+from .profile import HotnessProfile, RankedFinding, apply_profile
+from .typeinfo import KIND_DICT, KIND_LIST, KIND_NDARRAY, KIND_STR, infer_kinds
+
+__all__ = [
+    "FunctionFlow",
+    "HotnessProfile",
+    "KIND_DICT",
+    "KIND_LIST",
+    "KIND_NDARRAY",
+    "KIND_STR",
+    "PARAM_SITE",
+    "RankedFinding",
+    "apply_profile",
+    "infer_kinds",
+]

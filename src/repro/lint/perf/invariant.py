@@ -1,0 +1,363 @@
+"""Loop-aware reaching definitions on the deshflow CFG + solver.
+
+:class:`FunctionFlow` wraps one function with everything the perf
+rules need:
+
+* the function's :class:`~repro.lint.flow.cfg.CFG`, whose blocks carry
+  the loop-nesting annotation (``Block.loops``);
+* a reaching-definitions fixpoint run through the generic
+  :func:`~repro.lint.flow.solver.solve` worklist solver — the abstract
+  state maps each local name to the *set of definition sites*
+  ``(block_id, stmt_index)`` that may reach a program point, with the
+  sentinel :data:`PARAM_SITE` standing for the function parameters;
+* per-loop mutation summaries (names whose attributes/elements may be
+  written, or which receive in-place mutator calls, inside a loop).
+
+On top of those, :meth:`FunctionFlow.invariant_chain` proves an
+expression loop-invariant: every name it reads must have *all* its
+reaching definitions outside the loop (a parameter, a pre-loop
+assignment, or resolution outside the function entirely), and no root
+it dereferences may be mutated inside the loop.  The proof is returned
+as the operand chain — one :class:`Operand` per name with where it was
+bound — so P2 findings can show exactly *why* a hoist is safe.  The
+lattice is the powerset of definition sites ordered by inclusion
+(join = union), so the fixpoint terminates on the solver's standard
+argument: finitely many sites per function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..flow.cfg import CFG, Block, build_cfg
+from ..flow.solver import Domain, solve
+from ..rules.purity import _MUTATORS
+
+__all__ = ["PARAM_SITE", "FunctionFlow", "Operand", "head_defs"]
+
+#: Sentinel definition site for function parameters (outside any loop).
+PARAM_SITE = (-1, -1)
+
+#: One reaching-defs state: local name -> reaching definition sites.
+_State = Dict[str, FrozenSet[Tuple[int, int]]]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+#: Expression nodes allowed inside a provable-invariant operand tree.
+#: Calls and subscripts are excluded on purpose: a call may be impure
+#: and a subscripted container may be mutated without a rebind, and
+#: the analysis only reports what it can prove.
+_PURE_EXPR_NODES = (
+    ast.Constant,
+    ast.Name,
+    ast.Attribute,
+    ast.Tuple,
+    ast.List,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.BoolOp,
+    ast.Compare,
+    ast.Load,
+    ast.Store,
+    ast.operator,
+    ast.unaryop,
+    ast.boolop,
+    ast.cmpop,
+    ast.expr_context,
+)
+
+
+@dataclass(frozen=True)
+class Operand(object):
+    """One name in a proven-invariant operand chain."""
+
+    name: str
+    #: Where the binding comes from: "parameter", "outer scope", or
+    #: "line N[,M...]" for pre-loop assignments.
+    bound_at: str
+    #: Definition line numbers inside the function ('' entries removed).
+    lines: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """Human form used in P2 messages, e.g. ``n (bound at line 3)``."""
+        return f"{self.name} ({self.bound_at})"
+
+
+def _target_names(target: ast.AST, into: Set[str]) -> None:
+    """Names bound by an assignment/for/with target node."""
+    if isinstance(target, ast.Name):
+        into.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _target_names(elt, into)
+    elif isinstance(target, ast.Starred):
+        _target_names(target.value, into)
+
+
+def _walk_no_scope(node: ast.AST) -> Iterable[ast.AST]:
+    """Descendants of *node* without crossing nested-scope boundaries."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _named_expr_targets(exprs: Iterable[Optional[ast.AST]], into: Set[str]) -> None:
+    """Walrus-bound names inside the given head expressions."""
+    for expr in exprs:
+        if expr is None:
+            continue
+        for node in _walk_no_scope(expr):
+            if isinstance(node, ast.NamedExpr):
+                _target_names(node.target, into)
+
+
+def head_defs(stmt: ast.stmt) -> Set[str]:
+    """Names bound by *stmt*'s head — the part living in its CFG block.
+
+    Compound statements bind only through their head (a ``for`` its
+    target, a ``with`` its ``as`` vars); their bodies live in other
+    blocks and contribute definitions there.
+    """
+    out: Set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            _target_names(target, out)
+        _named_expr_targets([stmt.value], out)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        _target_names(stmt.target, out)
+        _named_expr_targets([getattr(stmt, "value", None)], out)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        _target_names(stmt.target, out)
+        _named_expr_targets([stmt.iter], out)
+    elif isinstance(stmt, (ast.While, ast.If)):
+        _named_expr_targets([stmt.test], out)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                _target_names(item.optional_vars, out)
+        _named_expr_targets([item.context_expr for item in stmt.items], out)
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            out.add(alias.asname or alias.name.split(".")[0])
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        out.add(stmt.name)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            _target_names(target, out)
+    elif isinstance(stmt, ast.Try):
+        pass  # the try head binds nothing
+    else:
+        _named_expr_targets([stmt], out)
+    return out
+
+
+def _apply_stmt(stmt: ast.stmt, state: _State, site: Tuple[int, int]) -> _State:
+    """Strong-update *state* with the definitions *stmt*'s head makes."""
+    bound = head_defs(stmt)
+    if not bound:
+        return state
+    out = dict(state)
+    for name in bound:
+        out[name] = frozenset({site})
+    return out
+
+
+class _ReachingDefs(Domain):
+    """Powerset-of-def-sites domain for the generic worklist solver."""
+
+    def __init__(self, cfg: CFG, params: Sequence[str]) -> None:
+        self._cfg = cfg
+        self._params = tuple(params)
+
+    def initial(self) -> _State:
+        """Entry state: every parameter defined at :data:`PARAM_SITE`."""
+        return {name: frozenset({PARAM_SITE}) for name in self._params}
+
+    def join(self, a: _State, b: _State) -> _State:
+        """Pointwise union of reaching-definition sites."""
+        out = dict(a)
+        for name, sites in b.items():
+            out[name] = out.get(name, frozenset()) | sites
+        return out
+
+    def transfer(self, block: Block, state: _State) -> _State:
+        """Apply every statement head in *block* in order."""
+        for idx, stmt in enumerate(block.stmts):
+            state = _apply_stmt(stmt, state, (block.id, idx))
+        return state
+
+
+def _param_names(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> List[str]:
+    names: List[str] = []
+    args = fn.args
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        names.extend(a.arg for a in group)
+    for special in (args.vararg, args.kwarg):
+        if special is not None:
+            names.append(special.arg)
+    return names
+
+
+class FunctionFlow:
+    """CFG + reaching definitions + loop summaries for one function."""
+
+    def __init__(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.fn = fn
+        self.cfg = build_cfg(fn)
+        #: id(stmt) -> (block_id, index within block) for every lowered stmt.
+        self.where: Dict[int, Tuple[int, int]] = {}
+        for block in self.cfg.blocks:
+            for idx, stmt in enumerate(block.stmts):
+                self.where[id(stmt)] = (block.id, idx)
+        self.result = solve(self.cfg, _ReachingDefs(self.cfg, _param_names(fn)))
+        self._mutated: Dict[int, Set[str]] = {}
+        self._handler_names: Set[str] = {
+            node.name
+            for node in ast.walk(fn)
+            if isinstance(node, ast.ExceptHandler) and node.name
+        }
+
+    # ------------------------------------------------------------------
+    def block_of(self, stmt: ast.stmt) -> Optional[int]:
+        """Id of the block holding *stmt*'s head, if it was lowered."""
+        site = self.where.get(id(stmt))
+        return site[0] if site is not None else None
+
+    def loops_of(self, stmt: ast.stmt) -> Tuple[int, ...]:
+        """Loop-head block ids enclosing *stmt*, outermost first."""
+        site = self.where.get(id(stmt))
+        if site is None:
+            return ()
+        return self.cfg.block(site[0]).loops
+
+    def loop_heads(self) -> List[int]:
+        """Every loop-head block id, in block-id (construction) order."""
+        return [b.id for b in self.cfg.blocks if b.loops and b.loops[-1] == b.id]
+
+    def loop_stmt(self, head: int) -> ast.stmt:
+        """The ``for``/``while`` statement whose head is block *head*."""
+        return self.cfg.block(head).stmts[0]
+
+    def defs_before(self, stmt: ast.stmt) -> Optional[_State]:
+        """Reaching-defs state just before *stmt*; ``None`` if unreachable."""
+        site = self.where.get(id(stmt))
+        if site is None:
+            return None
+        block_id, idx = site
+        state = self.result.in_states.get(block_id)
+        if state is None:
+            return None
+        block = self.cfg.block(block_id)
+        for i in range(idx):
+            state = _apply_stmt(block.stmts[i], state, (block_id, i))
+        return state
+
+    def site_outside_loop(self, site: Tuple[int, int], head: int) -> bool:
+        """Whether definition *site* lies outside the loop headed at *head*."""
+        if site == PARAM_SITE:
+            return True
+        return head not in self.cfg.block(site[0]).loops
+
+    # ------------------------------------------------------------------
+    def mutated_in_loop(self, head: int) -> Set[str]:
+        """Root names possibly mutated (not rebound) inside loop *head*.
+
+        Covers attribute/subscript stores, ``+=`` onto attributes or
+        elements, and in-place mutator method calls — the ways a value
+        changes across iterations without a new definition site.
+        """
+        cached = self._mutated.get(head)
+        if cached is not None:
+            return cached
+        mutated: Set[str] = set()
+        for node in _walk_no_scope(self.loop_stmt(head)):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(target)
+                        if root is not None:
+                            mutated.add(root)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATORS:
+                    root = _root_name(node.func.value)
+                    if root is not None:
+                        mutated.add(root)
+        self._mutated[head] = mutated
+        return mutated
+
+    # ------------------------------------------------------------------
+    def invariant_chain(
+        self,
+        exprs: Sequence[ast.AST],
+        stmt: ast.stmt,
+        head: int,
+    ) -> Optional[List[Operand]]:
+        """Prove every expression in *exprs* invariant w.r.t. loop *head*.
+
+        Returns the operand chain (one entry per distinct name read, in
+        first-use order) when the proof goes through, else ``None``.
+        An empty chain means the expressions read only constants.
+        """
+        state = self.defs_before(stmt)
+        if state is None:
+            return None
+        mutated = self.mutated_in_loop(head)
+        chain: List[Operand] = []
+        seen: Set[str] = set()
+        for expr in exprs:
+            nodes = [expr]
+            nodes.extend(_walk_no_scope(expr))
+            for node in nodes:
+                if not isinstance(node, _PURE_EXPR_NODES):
+                    return None
+                if not isinstance(node, ast.Name):
+                    continue
+                if isinstance(node.ctx, ast.Store):
+                    return None  # a walrus target is a per-iteration def
+                name = node.id
+                if name in self._handler_names or name in mutated:
+                    return None
+                if name in seen:
+                    continue
+                seen.add(name)
+                operand = self._operand_for(name, state, head)
+                if operand is None:
+                    return None
+                chain.append(operand)
+        return chain
+
+    def _operand_for(
+        self, name: str, state: _State, head: int
+    ) -> Optional[Operand]:
+        sites = state.get(name)
+        if sites is None:
+            return Operand(name=name, bound_at="outer scope")
+        if not all(self.site_outside_loop(site, head) for site in sites):
+            return None
+        lines = tuple(
+            sorted(
+                self.cfg.block(block).stmts[idx].lineno
+                for block, idx in sites
+                if (block, idx) != PARAM_SITE
+            )
+        )
+        if not lines:
+            return Operand(name=name, bound_at="parameter")
+        where = "bound at line " + ",".join(str(n) for n in lines)
+        return Operand(name=name, bound_at=where, lines=lines)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None

@@ -1,0 +1,405 @@
+"""P1 — vectorization: Python-level loops doing numpy's job.
+
+Three shapes of the same latency bug, each one a per-element Python
+bytecode round-trip over data numpy could process in one C call:
+
+* **element iteration** — a ``for`` loop that walks an ndarray (rows or
+  elements, directly, via ``enumerate``, or via ``range(len(a))`` /
+  ``range(a.shape[0])``) and applies per-element arithmetic/comparisons
+  that feed a Python-side accumulator;
+* **ufunc-per-slice** — a numpy reduction/ufunc called once per
+  iteration over a slice indexed by the loop variable
+  (``np.sum(x * W[:, j])`` in a ``for j`` loop) instead of once over
+  the whole axis;
+* **growth by concatenation** — ``a = np.append(a, ...)`` /
+  ``np.concatenate``/``np.vstack``/``np.hstack`` reassigned inside a
+  loop, copying the accumulated prefix every iteration (quadratic).
+
+The loop structure comes from the deshflow CFG's loop-nesting
+annotation via :class:`~repro.lint.perf.invariant.FunctionFlow`; array
+kinds come from :mod:`~repro.lint.perf.typeinfo`.  At most one
+element/slice finding is reported per loop (the per-slice shape is the
+more precise diagnosis and wins); growth sites report per statement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..findings import Finding
+from ..names import ImportMap, build_import_map, resolve_dotted
+from ..rules import ModuleInfo, Rule, register
+from .invariant import FunctionFlow, _walk_no_scope
+from .typeinfo import KIND_NDARRAY, infer_kinds
+
+__all__ = ["VectorizeRule"]
+
+#: numpy callables whose per-iteration use over loop-indexed slices is
+#: almost always a batchable whole-array/axis operation.
+_SLICE_UFUNCS = frozenset(
+    {
+        "sum",
+        "mean",
+        "std",
+        "var",
+        "dot",
+        "matmul",
+        "inner",
+        "outer",
+        "exp",
+        "log",
+        "sqrt",
+        "abs",
+        "absolute",
+        "square",
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "maximum",
+        "minimum",
+        "clip",
+        "where",
+        "einsum",
+        "tanh",
+        "argmax",
+        "argmin",
+        "max",
+        "min",
+        "linalg.norm",
+    }
+)
+
+#: numpy callables that build a new array from existing ones — the
+#: growth-by-concatenation shape when the target feeds itself.
+_GROWTH_FNS = frozenset({"append", "concatenate", "vstack", "hstack", "stack"})
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    """Every ``Name`` read inside *node* (no scope crossing)."""
+    out: Set[str] = set()
+    nodes = [node]
+    nodes.extend(_walk_no_scope(node))
+    for child in nodes:
+        if isinstance(child, ast.Name):
+            out.add(child.id)
+    return out
+
+
+def _whole_names_in(node: ast.AST) -> Set[str]:
+    """Names read *whole* inside *node* — not under a subscript.
+
+    ``np.concatenate([acc, p])`` feeds ``acc`` back whole (growth);
+    ``np.concatenate([window[:, 1:], nxt])`` reads only a slice of
+    ``window`` (a constant-size slide, not quadratic growth), so
+    subscript subtrees are excluded entirely.
+    """
+    out: Set[str] = set()
+    stack: List[ast.AST] = [node]
+    while stack:
+        child = stack.pop()
+        if isinstance(child, ast.Subscript):
+            continue
+        if isinstance(child, ast.Name):
+            out.add(child.id)
+        stack.extend(ast.iter_child_nodes(child))
+    return out
+
+
+def _iterated_array(
+    loop: ast.For, kinds: dict
+) -> "Optional[Tuple[str, Set[str], Set[str]]]":
+    """(array name, element vars, index vars) when *loop* walks an ndarray."""
+    iter_expr = loop.iter
+    elems: Set[str] = set()
+    indexes: Set[str] = set()
+
+    def target_names(node: ast.AST) -> List[str]:
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out: List[str] = []
+            for elt in node.elts:
+                out.extend(target_names(elt))
+            return out
+        return []
+
+    names = target_names(loop.target)
+    if isinstance(iter_expr, ast.Name):
+        if kinds.get(iter_expr.id) != KIND_NDARRAY:
+            return None
+        elems.update(names)
+        return iter_expr.id, elems, indexes
+    if not isinstance(iter_expr, ast.Call):
+        return None
+    func = iter_expr.func
+    if isinstance(func, ast.Name) and func.id == "enumerate" and iter_expr.args:
+        inner = iter_expr.args[0]
+        if isinstance(inner, ast.Name) and kinds.get(inner.id) == KIND_NDARRAY:
+            if len(names) == 2:
+                indexes.add(names[0])
+                elems.add(names[1])
+                return inner.id, elems, indexes
+        return None
+    if isinstance(func, ast.Name) and func.id == "range" and len(iter_expr.args) == 1:
+        arg = iter_expr.args[0]
+        array: Optional[str] = None
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == "len"
+            and arg.args
+            and isinstance(arg.args[0], ast.Name)
+        ):
+            array = arg.args[0].id
+        elif (
+            isinstance(arg, ast.Subscript)
+            and isinstance(arg.value, ast.Attribute)
+            and arg.value.attr == "shape"
+            and isinstance(arg.value.value, ast.Name)
+        ):
+            array = arg.value.value.id
+        if array is not None and kinds.get(array) == KIND_NDARRAY:
+            indexes.update(names)
+            return array, elems, indexes
+    return None
+
+
+def _element_reads(node: ast.AST, array: str, elems: Set[str], indexes: Set[str]) -> bool:
+    """Whether *node* reads an element of the iterated array."""
+    if isinstance(node, ast.Name) and node.id in elems:
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == array
+    ):
+        return bool(_names_in(node.slice) & indexes)
+    return False
+
+
+@register
+class VectorizeRule(Rule):
+    """Python loops over ndarrays doing per-element numpy work."""
+
+    id = "P1"
+    category = "perf"
+    summary = (
+        "vectorization: Python-level loops that iterate an ndarray "
+        "applying per-element ops, call numpy per loop-indexed slice, "
+        "or grow arrays by concatenation (quadratic) — batch into "
+        "whole-array numpy calls"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Analyze every function's loops against the three P1 shapes."""
+        imap = build_import_map(module.tree, module.module_path)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, node, imap, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        imap: ImportMap,
+        findings: List[Finding],
+    ) -> None:
+        kinds = infer_kinds(fn, imap)
+        flow = FunctionFlow(fn)
+        for head in flow.loop_heads():
+            loop = flow.loop_stmt(head)
+            if isinstance(loop, ast.For):
+                # One diagnosis per loop: the per-slice ufunc shape is
+                # the more precise one, so it wins over plain element
+                # iteration when both match.
+                if not self._check_slice_ufuncs(module, loop, imap, findings):
+                    self._check_element_loop(module, loop, kinds, findings)
+            self._check_growth(module, loop, flow, head, imap, findings)
+
+    def _check_element_loop(
+        self,
+        module: ModuleInfo,
+        loop: ast.For,
+        kinds: dict,
+        findings: List[Finding],
+    ) -> None:
+        iterated = _iterated_array(loop, kinds)
+        if iterated is None:
+            return
+        array, elems, indexes = iterated
+        arithmetic = False
+        accumulates = False
+        ufunc_on_elem = False
+        for stmt in loop.body:
+            for node in self._body_walk(stmt):
+                if isinstance(node, (ast.BinOp, ast.Compare)):
+                    operands = [node.left]
+                    operands.extend(
+                        node.comparators
+                        if isinstance(node, ast.Compare)
+                        else [node.right]
+                    )
+                    if any(
+                        _element_reads(op, array, elems, indexes) for op in operands
+                    ):
+                        arithmetic = True
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "append"
+                    ):
+                        accumulates = True
+                    elif any(
+                        _element_reads(arg, array, elems, indexes)
+                        for arg in node.args
+                    ):
+                        ufunc_on_elem = True
+                elif isinstance(node, ast.AugAssign):
+                    if any(
+                        _element_reads(child, array, elems, indexes)
+                        for child in ast.walk(node.value)
+                    ):
+                        accumulates = True
+        if ufunc_on_elem or (arithmetic and accumulates):
+            findings.append(
+                module.finding(
+                    loop,
+                    self.id,
+                    f"loop iterates ndarray {array!r} element-by-element "
+                    "applying per-element operations in Python; replace "
+                    "with whole-array numpy ops (arange/masks/ufuncs)",
+                )
+            )
+
+    def _check_slice_ufuncs(
+        self,
+        module: ModuleInfo,
+        loop: ast.For,
+        imap: ImportMap,
+        findings: List[Finding],
+    ) -> bool:
+        """Report the first per-slice ufunc call; True when one fired."""
+        loop_vars = _names_in(loop.target)
+        for stmt in loop.body:
+            for node in self._body_walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = resolve_dotted(node.func, imap) or ""
+                head, _, tail = dotted.partition(".")
+                if head != "numpy" or tail not in _SLICE_UFUNCS:
+                    continue
+                if self._is_recurrence(stmt, node):
+                    continue  # loop-carried dependence: cannot batch
+                sliced = False
+                for arg in node.args:
+                    arg_nodes = [arg]
+                    arg_nodes.extend(_walk_no_scope(arg))
+                    for child in arg_nodes:
+                        if isinstance(child, ast.Subscript) and (
+                            _names_in(child.slice) & loop_vars
+                        ):
+                            sliced = True
+                if sliced:
+                    findings.append(
+                        module.finding(
+                            node,
+                            self.id,
+                            f"numpy.{tail} called once per iteration over a "
+                            "slice indexed by the loop variable; batch into "
+                            "a single whole-array call along the axis",
+                        )
+                    )
+                    return True
+        return False
+
+    def _check_growth(
+        self,
+        module: ModuleInfo,
+        loop: ast.stmt,
+        flow: FunctionFlow,
+        head: int,
+        imap: ImportMap,
+        findings: List[Finding],
+    ) -> None:
+        for block in flow.cfg.blocks:
+            # Innermost enclosing loop only, so a nested stmt is not
+            # re-reported once per enclosing loop level.
+            if block.id == head or not block.loops or block.loops[-1] != head:
+                continue
+            for stmt in block.stmts:
+                if not isinstance(stmt, ast.Assign) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    continue
+                dotted = resolve_dotted(stmt.value.func, imap) or ""
+                pkg, _, tail = dotted.partition(".")
+                if pkg != "numpy" or tail not in _GROWTH_FNS:
+                    continue
+                targets: Set[str] = set()
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        targets.add(target.id)
+                if not targets:
+                    continue
+                fed_back = set()
+                for arg in stmt.value.args:
+                    fed_back |= _whole_names_in(arg) & targets
+                if fed_back:
+                    grown = ",".join(sorted(fed_back))
+                    findings.append(
+                        module.finding(
+                            stmt,
+                            self.id,
+                            f"growing ndarray {grown!r} via numpy.{tail} "
+                            "inside a loop copies the accumulated prefix "
+                            "every iteration (quadratic); collect parts in "
+                            "a list and concatenate once after the loop",
+                        )
+                    )
+
+    @staticmethod
+    def _is_recurrence(stmt: ast.stmt, call: ast.Call) -> bool:
+        """Whether *call* feeds a target it also reads (h = f(..h..))."""
+        reads: Set[str] = set()
+        for arg in call.args:
+            reads |= _names_in(arg)
+        if isinstance(stmt, ast.Assign):
+            targets: Set[str] = set()
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    targets.add(target.id)
+            return bool(targets & reads)
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            return stmt.target.id in reads
+        return False
+
+    #: Node types whose insides are *not* part of this loop's body walk:
+    #: nested scopes run elsewhere, nested loops are analyzed on their own.
+    _BODY_STOP = (
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+        ast.Lambda,
+        ast.ClassDef,
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+    )
+
+    @classmethod
+    def _body_walk(cls, stmt: ast.stmt) -> Iterable[ast.AST]:
+        """Walk a loop-body statement without crossing nested scopes or
+        nested loops (inner loops are analyzed on their own)."""
+        if isinstance(stmt, cls._BODY_STOP):
+            return
+        stack: List[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if not isinstance(child, cls._BODY_STOP):
+                    stack.append(child)

@@ -1,0 +1,281 @@
+"""P2 — allocation in loop: loop-invariant work rebuilt every iteration.
+
+The rule hunts work inside loop bodies whose inputs provably do not
+change across iterations, so the whole expression can be hoisted above
+the loop:
+
+* **array constructors** — ``np.zeros``/``empty``/``ones``/``eye``/...
+  with loop-invariant (or constant) arguments, assigned to a name that
+  is never mutated inside the loop (a mutated target is a per-iteration
+  scratch buffer and must stay put);
+* **dict/list builds** — non-empty literals and ``dict()``/``list()``
+  calls whose every element is loop-invariant (an *empty* literal is
+  almost always a fresh per-iteration accumulator and is left alone);
+* **un-gated eager logging** — ``log.debug(f"...{x}...")``-style calls
+  that execute on every iteration (not nested under an ``if``/``try``)
+  and format only loop-invariant operands: hoist or gate them.
+
+Invariance is *proven*, not guessed: a loop-aware reaching-definitions
+pass on the deshflow fixpoint solver
+(:meth:`~repro.lint.perf.invariant.FunctionFlow.invariant_chain`)
+demands every operand's every reaching definition lie outside the
+loop, and each finding carries the exact invariant operand chain —
+name by name, with where each was bound — as the hoist justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence
+
+from ..findings import Finding
+from ..names import ImportMap, build_import_map, resolve_dotted
+from ..rules import ModuleInfo, Rule, register
+from .invariant import FunctionFlow, Operand
+
+__all__ = ["HoistRule"]
+
+#: numpy constructors whose loop-invariant calls are hoistable.
+_ALLOC_FNS = frozenset(
+    {
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "eye",
+        "identity",
+        "arange",
+        "linspace",
+    }
+)
+
+#: Logger method names treated as logging calls.
+_LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+
+def _chain_text(chain: Sequence[Operand]) -> str:
+    """Render an invariant operand chain for the finding message."""
+    if not chain:
+        return "all operands are constants"
+    return "invariant operands: " + ", ".join(op.describe() for op in chain)
+
+
+def _is_logger_call(call: ast.Call, imap: ImportMap) -> bool:
+    """Whether *call* is a recognizable logging-method invocation."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _LOG_METHODS:
+        return False
+    dotted = resolve_dotted(func.value, imap) or ""
+    root = dotted.split(".", 1)[0].lower()
+    return root == "logging" or "log" in root
+
+
+def _format_operands(call: ast.Call) -> Optional[List[ast.AST]]:
+    """Operands eagerly formatted by a logging call's arguments.
+
+    Returns ``None`` when no eager formatting happens (lazy ``%s``
+    style with separate args — the cheap, recommended form).
+    """
+    operands: List[ast.AST] = []
+    formatted = False
+    for arg in call.args:
+        if isinstance(arg, ast.JoinedStr):
+            formatted = True
+            for part in arg.values:
+                if isinstance(part, ast.FormattedValue):
+                    operands.append(part.value)
+        elif isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Mod):
+            formatted = True
+            operands.append(arg.right)
+        elif (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "format"
+        ):
+            formatted = True
+            operands.extend(arg.args)
+            operands.extend(kw.value for kw in arg.keywords if kw.arg)
+        else:
+            operands.append(arg)
+    return operands if formatted else None
+
+
+@register
+class HoistRule(Rule):
+    """Loop bodies re-doing work whose inputs never change."""
+
+    id = "P2"
+    category = "perf"
+    summary = (
+        "allocation in loop: array constructors, dict/list builds and "
+        "un-gated eager logging with provably loop-invariant operands "
+        "rebuilt every iteration — hoist above the loop"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Analyze every function's loop bodies for hoistable work."""
+        imap = build_import_map(module.tree, module.module_path)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, node, imap, findings)
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        imap: ImportMap,
+        findings: List[Finding],
+    ) -> None:
+        flow = FunctionFlow(fn)
+        self._scan(module, fn.body, flow, imap, loop=None, gated=False, out=findings)
+
+    def _scan(
+        self,
+        module: ModuleInfo,
+        stmts: Sequence[ast.stmt],
+        flow: FunctionFlow,
+        imap: ImportMap,
+        loop: Optional[int],
+        gated: bool,
+        out: List[Finding],
+    ) -> None:
+        """Recursive loop-body scan tracking the innermost loop + gating."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                head = flow.block_of(stmt)
+                self._scan(
+                    module, stmt.body, flow, imap, loop=head, gated=False, out=out
+                )
+                self._scan(
+                    module, stmt.orelse, flow, imap, loop=loop, gated=gated, out=out
+                )
+            elif isinstance(stmt, ast.If):
+                inner_gated = gated or loop is not None
+                self._scan(module, stmt.body, flow, imap, loop, inner_gated, out)
+                self._scan(module, stmt.orelse, flow, imap, loop, inner_gated, out)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._scan(module, stmt.body, flow, imap, loop, gated, out)
+            elif isinstance(stmt, ast.Try):
+                self._scan(module, stmt.body, flow, imap, loop, gated, out)
+                for handler in stmt.handlers:
+                    self._scan(module, handler.body, flow, imap, loop, True, out)
+                self._scan(module, stmt.orelse, flow, imap, loop, True, out)
+                self._scan(module, stmt.finalbody, flow, imap, loop, gated, out)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are analyzed as their own functions
+            elif loop is not None:
+                self._check_stmt(module, stmt, flow, imap, loop, gated, out)
+
+    # ------------------------------------------------------------------
+    def _check_stmt(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        flow: FunctionFlow,
+        imap: ImportMap,
+        loop: int,
+        gated: bool,
+        out: List[Finding],
+    ) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._check_assign(module, stmt, target.id, flow, imap, loop, out)
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            if not gated and _is_logger_call(stmt.value, imap):
+                self._check_logging(module, stmt, stmt.value, flow, loop, out)
+
+    def _check_assign(
+        self,
+        module: ModuleInfo,
+        stmt: ast.Assign,
+        target: str,
+        flow: FunctionFlow,
+        imap: ImportMap,
+        loop: int,
+        out: List[Finding],
+    ) -> None:
+        value = stmt.value
+        if target in flow.mutated_in_loop(loop):
+            return  # per-iteration scratch buffer; hoisting changes behavior
+        what: Optional[str] = None
+        operands: List[ast.AST] = []
+        if isinstance(value, ast.Call):
+            dotted = resolve_dotted(value.func, imap) or ""
+            pkg, _, tail = dotted.partition(".")
+            if pkg == "numpy" and tail in _ALLOC_FNS:
+                what = f"numpy.{tail} allocation"
+                operands = list(value.args)
+                operands.extend(kw.value for kw in value.keywords)
+            elif dotted in {"dict", "list"} and (value.args or value.keywords):
+                what = f"{dotted} build"
+                operands = list(value.args)
+                operands.extend(kw.value for kw in value.keywords)
+        elif isinstance(value, ast.Dict) and value.keys:
+            what = "dict build"
+            operands = [k for k in value.keys if k is not None]
+            operands.extend(value.values)
+        elif isinstance(value, ast.List) and value.elts:
+            what = "list build"
+            operands = list(value.elts)
+        if what is None:
+            return
+        chain = flow.invariant_chain(operands, stmt, loop)
+        if chain is None:
+            return
+        related = tuple(
+            module.site(
+                _line_anchor(flow, op),
+                f"invariant operand {op.name!r} {op.bound_at}",
+            )
+            for op in chain
+            if op.lines
+        )
+        out.append(
+            module.finding(
+                stmt,
+                self.id,
+                f"loop-invariant {what} rebuilt every iteration "
+                f"(assigned to {target!r}); hoist it above the loop — "
+                f"{_chain_text(chain)}",
+                related=related,
+            )
+        )
+
+    def _check_logging(
+        self,
+        module: ModuleInfo,
+        stmt: ast.Expr,
+        call: ast.Call,
+        flow: FunctionFlow,
+        loop: int,
+        out: List[Finding],
+    ) -> None:
+        operands = _format_operands(call)
+        if operands is None:
+            return
+        chain = flow.invariant_chain(operands, stmt, loop)
+        if chain is None:
+            return
+        out.append(
+            module.finding(
+                stmt,
+                self.id,
+                "un-gated logging call formats only loop-invariant "
+                "operands on every iteration; hoist it above the loop "
+                f"or gate it — {_chain_text(chain)}",
+            )
+        )
+
+
+def _line_anchor(flow: FunctionFlow, op: Operand) -> ast.AST:
+    """A synthetic AST anchor at an operand's first definition line."""
+    anchor = ast.Pass()
+    anchor.lineno = op.lines[0]
+    anchor.col_offset = 0
+    return anchor

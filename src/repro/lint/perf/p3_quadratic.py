@@ -1,0 +1,213 @@
+"""P3 — hidden quadratics: O(n²) behavior wearing O(n) syntax.
+
+Three idioms that look constant-time per step but are linear per step,
+so the loop around them is quadratic:
+
+* ``list.insert(0, item)`` — shifts the whole list every call; use
+  ``collections.deque.appendleft`` or append + single ``reverse``;
+* ``x in items`` / ``x not in items`` probed repeatedly (inside a loop
+  or comprehension) against a *list* built in the same function — each
+  probe is a linear scan; build a ``set`` once;
+* string accumulation — ``s += part`` (or ``s = s + part``) in a loop
+  copies the accumulated prefix every iteration; collect parts and
+  ``"".join`` once.  The rebind form ``a = a + x`` on an ndarray is
+  flagged too: it allocates a fresh array per iteration where in-place
+  ``a += x`` (or one vectorized reduction) would not.
+
+Kinds come from the same provable-only local inference the other perf
+rules use (:mod:`~repro.lint.perf.typeinfo`); loop membership comes
+from the CFG's loop-nesting annotation via
+:class:`~repro.lint.perf.invariant.FunctionFlow`, so the rule agrees
+with the solver-backed rules about what "inside a loop" means.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..findings import Finding
+from ..names import build_import_map
+from ..rules import ModuleInfo, Rule, register
+from .invariant import FunctionFlow
+from .typeinfo import KIND_LIST, KIND_NDARRAY, KIND_STR, infer_kinds
+
+__all__ = ["QuadraticRule"]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _stmt_walk(stmt: ast.stmt) -> Iterable[ast.AST]:
+    """Nodes of one lowered statement head, flagging comprehension depth.
+
+    Yields ``(node, in_comprehension)`` pairs without descending into
+    nested scopes or into compound-statement bodies (those are separate
+    CFG statements walked on their own).
+    """
+    head_exprs: List[ast.AST] = []
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        head_exprs = [stmt.iter]
+    elif isinstance(stmt, (ast.While, ast.If)):
+        head_exprs = [stmt.test]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        head_exprs = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.Try):
+        head_exprs = []
+    else:
+        head_exprs = list(ast.iter_child_nodes(stmt))
+    stack = [(expr, False) for expr in head_exprs]
+    while stack:
+        node, in_comp = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        yield node, in_comp
+        inner = in_comp or isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        )
+        stack.extend((child, inner) for child in ast.iter_child_nodes(node))
+
+
+@register
+class QuadraticRule(Rule):
+    """Per-step-linear idioms that make the surrounding loop quadratic."""
+
+    id = "P3"
+    category = "perf"
+    summary = (
+        "hidden quadratics: list.insert(0,...), membership tests "
+        "against locally-built lists in loops, and repeated str/ndarray "
+        "+=-style accumulation — each step is O(n), the loop is O(n^2)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        """Analyze every function for the three quadratic idioms."""
+        imap = build_import_map(module.tree, module.module_path)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(module, node, imap, findings)
+        return findings
+
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+        imap,
+        findings: List[Finding],
+    ) -> None:
+        kinds = infer_kinds(fn, imap)
+        flow = FunctionFlow(fn)
+        for block in flow.cfg.blocks:
+            in_loop = bool(block.loops)
+            for stmt in block.stmts:
+                self._check_stmt(module, stmt, kinds, in_loop, findings)
+
+    # ------------------------------------------------------------------
+    def _check_stmt(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        kinds: dict,
+        in_loop: bool,
+        findings: List[Finding],
+    ) -> None:
+        self._check_accumulation(module, stmt, kinds, in_loop, findings)
+        for node, in_comp in _stmt_walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "insert"
+                and isinstance(node.func.value, ast.Name)
+                and kinds.get(node.func.value.id) == KIND_LIST
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+            ):
+                findings.append(
+                    module.finding(
+                        node,
+                        self.id,
+                        f"list.insert(0, ...) on {node.func.value.id!r} "
+                        "shifts every element on each call; use "
+                        "collections.deque.appendleft or append + one "
+                        "reverse",
+                    )
+                )
+            elif isinstance(node, ast.Compare) and (in_loop or in_comp):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if (
+                        isinstance(op, (ast.In, ast.NotIn))
+                        and isinstance(comparator, ast.Name)
+                        and kinds.get(comparator.id) == KIND_LIST
+                    ):
+                        findings.append(
+                            module.finding(
+                                node,
+                                self.id,
+                                "membership test against list "
+                                f"{comparator.id!r} built in this function "
+                                "is a linear scan per probe; build a set "
+                                "once and test against it",
+                            )
+                        )
+
+    def _check_accumulation(
+        self,
+        module: ModuleInfo,
+        stmt: ast.stmt,
+        kinds: dict,
+        in_loop: bool,
+        findings: List[Finding],
+    ) -> None:
+        if not in_loop:
+            return
+        if (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, ast.Add)
+            and isinstance(stmt.target, ast.Name)
+            and kinds.get(stmt.target.id) == KIND_STR
+        ):
+            findings.append(
+                module.finding(
+                    stmt,
+                    self.id,
+                    f"string accumulation {stmt.target.id!r} += ... in a "
+                    "loop copies the accumulated prefix every iteration "
+                    "(quadratic); collect parts in a list and ''.join once",
+                )
+            )
+            return
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.BinOp)
+            and isinstance(stmt.value.op, ast.Add)
+        ):
+            target = stmt.targets[0].id
+            left = stmt.value.left
+            if not (isinstance(left, ast.Name) and left.id == target):
+                return
+            kind = kinds.get(target)
+            if kind == KIND_STR:
+                findings.append(
+                    module.finding(
+                        stmt,
+                        self.id,
+                        f"string accumulation {target!r} = {target} + ... "
+                        "in a loop copies the accumulated prefix every "
+                        "iteration (quadratic); collect parts in a list "
+                        "and ''.join once",
+                    )
+                )
+            elif kind == KIND_NDARRAY:
+                findings.append(
+                    module.finding(
+                        stmt,
+                        self.id,
+                        f"ndarray rebind {target!r} = {target} + ... in a "
+                        "loop allocates a fresh array every iteration; "
+                        f"use in-place {target} += ... or one vectorized "
+                        "reduction",
+                    )
+                )

@@ -1,0 +1,306 @@
+"""Profile-guided hotness ranking for deshlint findings.
+
+``repro trace <cmd> --trace-out spans.jsonl --metrics-out metrics.json``
+leaves two artifacts behind: a JSONL file of tracer spans (one JSON
+object per line with ``name``/``duration`` in seconds) and a metrics
+snapshot (one JSON dict whose histogram entries carry a ``sum``; the
+repo's latency histograms are named ``*_ms`` and record milliseconds).
+:class:`HotnessProfile` reads either format — sniffed per file, both
+may be passed — and attributes the measured milliseconds to *code*
+via :data:`SPAN_OWNERS`: a static map from span/metric name prefixes
+to the dotted module/function prefixes that do the work under them.
+
+:func:`apply_profile` then joins findings against the profile.  Each
+finding resolves to the qualified name of its enclosing function
+(``repro.core.phase3.Phase3Predictor._score_episode``); the measured
+milliseconds of every owning span accumulate into the finding's
+``hotness_ms``, and perf-rule findings get their SARIF ``level`` set
+by the escalation policy:
+
+* hot under a **critical** span (the Fig. 10 ``phase3.prediction_ms``
+  prediction path or the fit-loop epoch spans) -> ``error``;
+* hot under any other measured span -> ``warning``;
+* cold (no measured time attributed) -> ``note``.
+
+Non-perf findings keep their category default — a profile never
+changes *which* findings exist, only how perf findings rank and gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ...errors import LintError
+from ..findings import Finding
+from ..rules import ModuleInfo
+
+__all__ = [
+    "LEVEL_ORDER",
+    "SPAN_OWNERS",
+    "HotnessProfile",
+    "RankedFinding",
+    "SpanOwner",
+    "apply_profile",
+]
+
+
+@dataclass(frozen=True)
+class SpanOwner(object):
+    """One span/metric name (or ``.``/``:`` prefix) -> owning code."""
+
+    #: Exact span/metric name, or a prefix when ending in "." or ":".
+    pattern: str
+    #: Dotted code prefixes that execute under this span.
+    owners: Tuple[str, ...]
+    #: Whether findings heated by this span escalate to error level.
+    critical: bool = False
+
+    def matches(self, name: str) -> bool:
+        """Whether measured entry *name* falls under this pattern."""
+        if self.pattern.endswith((".", ":")):
+            return name.startswith(self.pattern)
+        return name == self.pattern
+
+
+#: Code owning the Fig. 10 per-prediction latency path.
+_PREDICT_OWNERS = (
+    "repro.core.phase3",
+    "repro.core.deltas",
+    "repro.nn.batched",
+    "repro.nn.layers",
+    "repro.nn.lstm",
+    "repro.nn.model",
+    "repro.nn.activations",
+)
+
+#: Code owning the training loops (epoch histograms / fit spans).
+_FIT_OWNERS = (
+    "repro.nn.model",
+    "repro.nn.layers",
+    "repro.nn.lstm",
+    "repro.nn.losses",
+    "repro.nn.optimizers",
+    "repro.nn.trainer",
+    "repro.nn.data",
+)
+
+#: The static span-name -> code-owner table.  First match wins; names
+#: matching nothing are counted but attributed to no code.  Critical
+#: entries are the paper's measured claims: the Fig. 10 prediction
+#: latency and the fit-loop epochs.
+SPAN_OWNERS: Tuple[SpanOwner, ...] = (
+    SpanOwner("phase3.prediction_ms", _PREDICT_OWNERS, critical=True),
+    SpanOwner("phase3.", _PREDICT_OWNERS, critical=True),
+    SpanOwner("nn.classifier.epoch_ms", _FIT_OWNERS, critical=True),
+    SpanOwner("nn.regressor.epoch_ms", _FIT_OWNERS, critical=True),
+    SpanOwner("nn.classifier.fit", _FIT_OWNERS, critical=True),
+    SpanOwner("nn.regressor.fit", _FIT_OWNERS, critical=True),
+    SpanOwner("nn.fit_with_validation", _FIT_OWNERS, critical=True),
+    SpanOwner("parse.", ("repro.parsing",)),
+    SpanOwner("ingest.", ("repro.parsing", "repro.resilience.ingest")),
+    SpanOwner("pipeline.", ("repro.pipeline",)),
+    SpanOwner("stage:", ("repro.pipeline",)),
+    SpanOwner("checkpoint.", ("repro.resilience.checkpoint",)),
+    SpanOwner("serve.", ("repro.serve",)),
+    SpanOwner("monitor.", ("repro.core.monitor",)),
+)
+
+#: Severity rank used by the CLI's --min-level gate.
+LEVEL_ORDER = {"note": 0, "warning": 1, "error": 2}
+
+
+class HotnessProfile:
+    """Measured time per span/metric name, attributable to code."""
+
+    def __init__(self, entries: Optional[Dict[str, float]] = None) -> None:
+        #: Span/metric name -> total measured milliseconds.
+        self.entries: Dict[str, float] = dict(entries or {})
+        self._owner_cache: Optional[Dict[str, Tuple[float, bool]]] = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def load(cls, paths: Iterable["str | Path"]) -> "HotnessProfile":
+        """Read trace-JSONL and/or metrics-snapshot files into one profile."""
+        profile = cls()
+        for raw in paths:
+            path = Path(raw)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise LintError(f"cannot read profile {path}: {exc}") from exc
+            profile._ingest(text, str(path))
+        return profile
+
+    def _ingest(self, text: str, origin: str) -> None:
+        try:
+            whole = json.loads(text)
+        except json.JSONDecodeError:
+            self._ingest_jsonl(text, origin)
+            return
+        if isinstance(whole, dict) and "duration" in whole:
+            self._add_span(whole)
+        elif isinstance(whole, dict):
+            self._ingest_metrics(whole)
+        else:
+            raise LintError(f"profile {origin}: expected spans or a metrics dict")
+
+    def _ingest_jsonl(self, text: str, origin: str) -> None:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise LintError(
+                    f"profile {origin}:{lineno}: bad JSONL span: {exc}"
+                ) from exc
+            if isinstance(obj, dict) and "duration" in obj:
+                self._add_span(obj)
+
+    def _add_span(self, span: dict) -> None:
+        name = span.get("name")
+        duration = span.get("duration")
+        if isinstance(name, str) and isinstance(duration, (int, float)):
+            # Tracer spans record seconds; the profile speaks ms.
+            self.entries[name] = self.entries.get(name, 0.0) + duration * 1e3
+        return
+
+    def _ingest_metrics(self, snapshot: dict) -> None:
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("type") != "histogram":
+                continue
+            total = payload.get("sum")
+            if isinstance(total, (int, float)):
+                # The repo's latency histograms are *_ms: sum is ms.
+                self.entries[name] = self.entries.get(name, 0.0) + float(total)
+
+    # -- attribution ---------------------------------------------------
+    def total_ms(self) -> float:
+        """Total measured milliseconds across every loaded entry."""
+        return sum(self.entries.values())
+
+    def by_owner(self) -> Dict[str, Tuple[float, bool]]:
+        """Code prefix -> (attributed ms, any critical span heats it)."""
+        if self._owner_cache is not None:
+            return self._owner_cache
+        out: Dict[str, Tuple[float, bool]] = {}
+        for name in sorted(self.entries):
+            ms = self.entries[name]
+            owner_entry = next(
+                (o for o in SPAN_OWNERS if o.matches(name)), None
+            )
+            if owner_entry is None:
+                continue
+            for prefix in owner_entry.owners:
+                prev_ms, prev_crit = out.get(prefix, (0.0, False))
+                out[prefix] = (prev_ms + ms, prev_crit or owner_entry.critical)
+        self._owner_cache = out
+        return out
+
+    def hotness(self, qualified: str) -> Tuple[float, bool]:
+        """(attributed ms, critical?) for a qualified function name."""
+        total = 0.0
+        critical = False
+        for prefix, (ms, crit) in sorted(self.by_owner().items()):
+            if qualified == prefix or qualified.startswith(prefix + "."):
+                total += ms
+                critical = critical or crit
+        return total, critical
+
+
+@dataclass(frozen=True)
+class RankedFinding(object):
+    """One finding with its profile attribution, for ranked rendering."""
+
+    finding: Finding
+    #: Dotted name of the enclosing function (module path when top-level).
+    qualified: str
+
+
+def _function_spans(
+    tree: ast.Module,
+) -> List[Tuple[int, int, str]]:
+    """(start line, end line, qualname) per def, innermost resolvable."""
+    spans: List[Tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end, qual))
+                visit(child, qual)
+            elif isinstance(child, ast.ClassDef):
+                qual = f"{prefix}.{child.name}" if prefix else child.name
+                visit(child, qual)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _enclosing_qualname(
+    spans: Sequence[Tuple[int, int, str]], line: int
+) -> str:
+    """Qualname of the innermost def covering *line* ('' at module level)."""
+    best = ""
+    best_size = None
+    for start, end, qual in spans:
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size < best_size:
+                best = qual
+                best_size = size
+    return best
+
+
+def apply_profile(
+    findings: Sequence[Finding],
+    modules: Sequence[ModuleInfo],
+    profile: HotnessProfile,
+) -> List[RankedFinding]:
+    """Annotate findings with hotness + level, ranked hottest-first.
+
+    Returns one :class:`RankedFinding` per input finding, ordered by
+    descending attributed milliseconds (ties keep the engine's
+    path/line order).  The contained findings carry ``hotness_ms`` and
+    — for perf-rule findings — the escalated/demoted ``level``.
+    """
+    spans_by_path: Dict[str, List[Tuple[int, int, str]]] = {}
+    module_paths: Dict[str, str] = {}
+    for module in modules:
+        spans_by_path[module.path] = _function_spans(module.tree)
+        module_paths[module.path] = module.module_path
+    ranked: List[RankedFinding] = []
+    for finding in findings:
+        spans = spans_by_path.get(finding.path, [])
+        qualname = _enclosing_qualname(spans, finding.line)
+        module_path = module_paths.get(finding.path, "")
+        qualified = (
+            f"{module_path}.{qualname}" if module_path and qualname
+            else (qualname or module_path)
+        )
+        ms, critical = profile.hotness(qualified) if qualified else (0.0, False)
+        annotated = replace(finding, hotness_ms=ms)
+        if finding.rule.startswith("P"):
+            if ms > 0.0 and critical:
+                level = "error"
+            elif ms > 0.0:
+                level = "warning"
+            else:
+                level = "note"
+            annotated = replace(annotated, level=level)
+        ranked.append(RankedFinding(finding=annotated, qualified=qualified))
+    ranked.sort(
+        key=lambda r: (-r.finding.hotness_ms, r.finding)
+    )
+    return ranked

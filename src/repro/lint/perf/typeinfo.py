@@ -1,0 +1,167 @@
+"""Syntactic local kind inference shared by the P1–P3 perf rules.
+
+The perf rules only need to answer coarse questions — "is this name an
+ndarray / list / str / dict inside this function?" — and only when the
+answer is *provable from the function's own text*: assignments from
+recognizable constructors, literals, and annotations.  Anything
+ambiguous (a name assigned two different kinds, a value of unknown
+provenance) stays out of the map, so the rules err toward silence.
+No imports are executed; resolution is purely syntactic via
+:mod:`repro.lint.names`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from ..names import ImportMap, resolve_dotted
+
+__all__ = [
+    "KIND_DICT",
+    "KIND_LIST",
+    "KIND_NDARRAY",
+    "KIND_STR",
+    "NP_ARRAY_FNS",
+    "infer_kinds",
+    "value_kind",
+]
+
+KIND_NDARRAY = "ndarray"
+KIND_LIST = "list"
+KIND_STR = "str"
+KIND_DICT = "dict"
+
+#: numpy callables whose result is an ndarray (constructor surface the
+#: rules recognize; deliberately not exhaustive — unknown means silent).
+NP_ARRAY_FNS = frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "arange",
+        "linspace",
+        "eye",
+        "identity",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "append",
+        "copy",
+        "where",
+    }
+)
+
+_LIST_FNS = frozenset({"list", "sorted"})
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _annotation_kind(annotation: ast.AST) -> Optional[str]:
+    """Kind named by a type annotation, if recognizable."""
+    text = ast.unparse(annotation).strip().strip("\"'")
+    base = text.split("[", 1)[0].rpartition(".")[2]
+    if base == "ndarray":
+        return KIND_NDARRAY
+    if base in {"list", "List"}:
+        return KIND_LIST
+    if base == "str":
+        return KIND_STR
+    if base in {"dict", "Dict"}:
+        return KIND_DICT
+    return None
+
+
+def value_kind(value: ast.AST, imap: ImportMap) -> Optional[str]:
+    """Kind of an assigned expression, or ``None`` when not provable."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return KIND_LIST
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return KIND_DICT
+    if isinstance(value, ast.JoinedStr):
+        return KIND_STR
+    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+        return KIND_STR
+    if isinstance(value, ast.Call):
+        dotted = resolve_dotted(value.func, imap) or ""
+        head, _, tail = dotted.partition(".")
+        leaf = dotted.rpartition(".")[2]
+        if head == "numpy" and tail and leaf in NP_ARRAY_FNS:
+            return KIND_NDARRAY
+        if dotted in _LIST_FNS:
+            return KIND_LIST
+        if dotted == "dict":
+            return KIND_DICT
+        if dotted == "str":
+            return KIND_STR
+        if (
+            isinstance(value.func, ast.Attribute)
+            and value.func.attr == "join"
+            and isinstance(value.func.value, (ast.Constant, ast.JoinedStr))
+        ):
+            return KIND_STR
+    return None
+
+
+def _walk_in_scope(node: ast.AST):
+    """Yield descendants of *node* without crossing nested-scope nodes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def infer_kinds(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef", imap: ImportMap
+) -> Dict[str, str]:
+    """Name -> kind for locals of *fn* with a consistent provable kind.
+
+    A name assigned conflicting kinds — or assigned one provable kind
+    *and* something unrecognizable — is dropped: the rules must never
+    reason from a kind that only sometimes holds.
+    """
+    kinds: Dict[str, Optional[str]] = {}
+
+    def record(name: str, kind: Optional[str]) -> None:
+        if name in kinds and kinds[name] != kind:
+            kinds[name] = None
+        else:
+            kinds[name] = kind
+
+    args = fn.args
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        for arg in group:
+            if arg.annotation is not None:
+                kind = _annotation_kind(arg.annotation)
+                if kind is not None:
+                    record(arg.arg, kind)
+    for node in _walk_in_scope(fn):
+        if isinstance(node, ast.Assign):
+            kind = value_kind(node.value, imap)
+            reads = {
+                n.id for n in ast.walk(node.value) if isinstance(n, ast.Name)
+            }
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    if kind is None and target.id in reads:
+                        continue  # x = x + y keeps x's kind
+                    record(target.id, kind)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            kind = _annotation_kind(node.annotation)
+            if kind is None and node.value is not None:
+                kind = value_kind(node.value, imap)
+            record(node.target.id, kind)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                record(node.target.id, None)
+    return {name: kind for name, kind in kinds.items() if kind is not None}

@@ -230,9 +230,14 @@ class TestCliLint:
         assert driver["name"] == "deshlint"
         rule_ids = {r["id"] for r in driver["rules"]}
         assert {"R1", "F1", "F2", "F3"} <= rule_ids  # what ran, not what fired
+        rule_meta = {r["id"]: r for r in driver["rules"]}
+        assert rule_meta["R1"]["defaultConfiguration"]["level"] == "warning"
+        assert rule_meta["P1"]["defaultConfiguration"]["level"] == "note"
+        assert rule_meta["R1"]["helpUri"].endswith("#rule-r1")
         results = log["runs"][0]["results"]
         assert results[0]["ruleId"] == "R1"
-        assert results[0]["level"] == "error"
+        # Syntactic findings annotate at their category default.
+        assert results[0]["level"] == "warning"
         region = results[0]["locations"][0]["physicalLocation"]["region"]
         assert region["startLine"] == 3
         assert "deshlintKey/v1" in results[0]["partialFingerprints"]
@@ -329,9 +334,10 @@ class TestRegistry:
         from repro.lint import all_rules, rules_by_category
 
         grouped = rules_by_category()
-        assert list(grouped) == ["syntactic", "dataflow"]
+        assert list(grouped) == ["syntactic", "dataflow", "perf"]
         flattened = {r.id for rules in grouped.values() for r in rules}
         assert flattened == {r.id for r in all_rules()}
         assert {r.id for r in grouped["dataflow"]} == {
             "F1", "F2", "F3", "F4", "F5", "F6",
         }
+        assert {r.id for r in grouped["perf"]} == {"P1", "P2", "P3"}

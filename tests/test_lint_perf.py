@@ -1,0 +1,716 @@
+"""The deshlint perf family: P1-P3 rules, hotness profiles, ranking.
+
+Each rule gets bad snippets that must fire and good snippets that must
+stay silent — the perf rules are proof-based (reaching definitions +
+provable kinds), so silence on anything unprovable is part of the
+contract.  The profile half is covered by unit tests over
+``HotnessProfile``/``apply_profile`` plus a golden end-to-end ranked
+report driven through the CLI with a fixed trace fixture.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import get_rules
+from repro.lint.engine import lint_source, load_modules
+from repro.lint.perf import (
+    HotnessProfile,
+    apply_profile,
+    infer_kinds,
+)
+from repro.lint.perf.profile import LEVEL_ORDER
+
+SRC_ROOT = Path(repro.__file__).resolve().parents[1]
+
+
+def _lint(source: str, rules):
+    return lint_source(
+        textwrap.dedent(source), rules=get_rules(rules)
+    )
+
+
+def _doc(body: str) -> str:
+    """Wrap a function body in a R5-quiet module."""
+    return '"""Doc."""\n\nimport numpy as np\n\n__all__ = []\n\n' + body
+
+
+class TestP1Vectorize:
+    def test_element_loop_over_annotated_ndarray_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(xs: np.ndarray) -> float:
+                """Sum."""
+                total = 0.0
+                for x in xs:
+                    total += float(x) * 2.0
+                return total
+            ''',
+            ["P1"],
+        )
+        assert [f.rule for f in findings] == ["P1"]
+        assert "element-by-element" in findings[0].message
+
+    def test_enumerate_and_range_len_iteration_fire(self):
+        for header, elem in (
+            ("for i, x in enumerate(xs):", "x"),
+            ("for i in range(len(xs)):", "xs[i]"),
+        ):
+            findings = _lint(
+                f'''
+                """Doc."""
+
+                import numpy as np
+
+                __all__ = []
+
+
+                def go(xs: np.ndarray) -> list:
+                    """Collect."""
+                    out = []
+                    {header}
+                        out.append({elem} * 2.0)
+                    return out
+                ''',
+                ["P1"],
+            )
+            assert [f.rule for f in findings] == ["P1"], header
+
+    def test_scalar_ufunc_on_loop_slice_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(m: np.ndarray) -> float:
+                """Row sums."""
+                total = 0.0
+                for i in range(len(m)):
+                    total += np.sum(m[i])
+                return total
+            ''',
+            ["P1"],
+        )
+        assert [f.rule for f in findings] == ["P1"]
+        assert "numpy.sum" in findings[0].message
+
+    def test_growth_by_concatenation_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(chunks: list) -> np.ndarray:
+                """Accumulate."""
+                acc = np.zeros(0)
+                for chunk in chunks:
+                    acc = np.append(acc, chunk)
+                return acc
+            ''',
+            ["P1"],
+        )
+        assert [f.rule for f in findings] == ["P1"]
+        assert "quadratic" in findings[0].message
+
+    def test_loop_carried_recurrence_is_silent(self):
+        """An unbatchable recurrence (h feeds the next step) must not fire."""
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(x: np.ndarray, w: np.ndarray, u: np.ndarray) -> np.ndarray:
+                """LSTM-ish unroll."""
+                h = np.zeros(4)
+                for t in range(len(x)):
+                    h = np.tanh(x[t] @ w + h @ u)
+                return h
+            ''',
+            ["P1"],
+        )
+        assert findings == []
+
+    def test_constant_size_sliding_window_is_silent(self):
+        """``concatenate`` over a *slice* of the target is not growth."""
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(window: np.ndarray, steps: int) -> np.ndarray:
+                """Autoregressive slide."""
+                for _ in range(steps):
+                    nxt = window[:, -1]
+                    window = np.concatenate([window[:, 1:], nxt[:, None]], axis=1)
+                return window
+            ''',
+            ["P1"],
+        )
+        assert findings == []
+
+    def test_plain_list_iteration_is_silent(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(xs: list) -> float:
+                """Sum a list (no ndarray in sight)."""
+                total = 0.0
+                for x in xs:
+                    total += x * 2.0
+                return total
+            ''',
+            ["P1"],
+        )
+        assert findings == []
+
+
+class TestP2Hoist:
+    def test_invariant_numpy_alloc_fires_with_operand_chain(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(xs: list, n: int) -> list:
+                """Scale."""
+                out = []
+                for x in xs:
+                    scratch = np.zeros(n)
+                    out.append(x + scratch[0])
+                return out
+            ''',
+            ["P2"],
+        )
+        assert [f.rule for f in findings] == ["P2"]
+        assert "numpy.zeros" in findings[0].message
+        assert "n (parameter)" in findings[0].message
+
+    def test_invariant_dict_build_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(xs: list, mode: str) -> list:
+                """Tag."""
+                out = []
+                for x in xs:
+                    opts = {"mode": mode, "strict": True}
+                    out.append((x, opts))
+                return out
+            ''',
+            ["P2"],
+        )
+        assert [f.rule for f in findings] == ["P2"]
+
+    def test_ungated_fstring_logging_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import logging
+
+            __all__ = []
+
+            log = logging.getLogger(__name__)
+
+
+            def go(xs: list, run_id: str) -> None:
+                """Chatter."""
+                for x in xs:
+                    log.debug(f"processing run {run_id}")
+            ''',
+            ["P2"],
+        )
+        assert [f.rule for f in findings] == ["P2"]
+        assert "format" in findings[0].message
+
+    def test_varying_alloc_and_mutated_buffer_are_silent(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(xs: list) -> list:
+                """Per-item buffers."""
+                out = []
+                for i, x in enumerate(xs):
+                    sized = np.zeros(i + 1)
+                    scratch = np.zeros(4)
+                    scratch[0] = x
+                    out.append(sized.sum() + scratch.sum())
+                return out
+            ''',
+            ["P2"],
+        )
+        assert findings == []
+
+    def test_gated_and_lazy_logging_are_silent(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import logging
+
+            __all__ = []
+
+            log = logging.getLogger(__name__)
+
+
+            def go(xs: list, run_id: str, verbose: bool) -> None:
+                """Quiet chatter."""
+                for x in xs:
+                    log.debug("processing %s in run %s", x, run_id)
+                    if verbose:
+                        log.info(f"still on run {run_id}")
+            ''',
+            ["P2"],
+        )
+        assert findings == []
+
+
+class TestP3Quadratic:
+    def test_insert_front_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(items: list) -> list:
+                """Reverse the hard way."""
+                out: list = []
+                for item in items:
+                    out.insert(0, item)
+                return out
+            ''',
+            ["P3"],
+        )
+        assert [f.rule for f in findings] == ["P3"]
+        assert "insert(0" in findings[0].message
+
+    def test_membership_against_local_list_in_loop_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(items: list) -> list:
+                """Dedup quadratically."""
+                seen: list = []
+                out = []
+                for item in items:
+                    if item in seen:
+                        continue
+                    seen.append(item)
+                    out.append(item)
+                return out
+            ''',
+            ["P3"],
+        )
+        assert [f.rule for f in findings] == ["P3"]
+        assert "set" in findings[0].message
+
+    def test_str_accumulation_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(parts: list) -> str:
+                """Join the slow way."""
+                text = ""
+                for part in parts:
+                    text += str(part)
+                return text
+            ''',
+            ["P3"],
+        )
+        assert [f.rule for f in findings] == ["P3"]
+        assert "join" in findings[0].message
+
+    def test_ndarray_reassignment_accumulation_fires(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = []
+
+
+            def go(rows: list, n: int) -> np.ndarray:
+                """Accumulate full copies."""
+                acc = np.zeros(n)
+                for row in rows:
+                    acc = acc + row
+                return acc
+            ''',
+            ["P3"],
+        )
+        assert [f.rule for f in findings] == ["P3"]
+
+    def test_set_membership_and_str_join_are_silent(self):
+        findings = _lint(
+            '''
+            """Doc."""
+
+            __all__ = []
+
+
+            def go(items: list) -> str:
+                """Dedup and join properly."""
+                seen = set()
+                parts: list = []
+                for item in items:
+                    if item in seen:
+                        continue
+                    seen.add(item)
+                    parts.append(str(item))
+                return "".join(parts)
+            ''',
+            ["P3"],
+        )
+        assert findings == []
+
+
+class TestKindInference:
+    def test_conflicting_kinds_drop_the_name(self):
+        import ast
+
+        from repro.lint.names import build_import_map
+
+        tree = ast.parse(
+            textwrap.dedent(
+                '''
+                def go():
+                    x = []
+                    x = ""
+                    y = []
+                '''
+            )
+        )
+        fn = tree.body[0]
+        kinds = infer_kinds(fn, build_import_map(tree, "snippet"))
+        assert "x" not in kinds
+        assert kinds["y"] == "list"
+
+    def test_self_referential_rebind_keeps_kind(self):
+        import ast
+
+        from repro.lint.names import build_import_map
+
+        tree = ast.parse(
+            textwrap.dedent(
+                '''
+                def go(p):
+                    s = ""
+                    s = s + p
+                    return s
+                '''
+            )
+        )
+        fn = tree.body[0]
+        kinds = infer_kinds(fn, build_import_map(tree, "snippet"))
+        assert kinds["s"] == "str"
+
+
+class TestCfgLoopAnnotations:
+    def test_blocks_carry_enclosing_loop_heads(self):
+        import ast
+
+        from repro.lint.flow.cfg import build_cfg
+
+        tree = ast.parse(
+            textwrap.dedent(
+                '''
+                def go(xs):
+                    total = 0
+                    for x in xs:
+                        for y in x:
+                            total += y
+                    return total
+                '''
+            )
+        )
+        cfg = build_cfg(tree.body[0])
+        depths = sorted({len(b.loops) for b in cfg.blocks})
+        assert depths == [0, 1, 2]
+        heads = [b for b in cfg.blocks if b.loops and b.loops[-1] == b.id]
+        assert len(heads) == 2
+        outer, inner = sorted(heads, key=lambda b: len(b.loops))
+        # The inner loop's context lists the outer head first.
+        inner_body = [b for b in cfg.blocks if len(b.loops) == 2]
+        assert all(b.loops == (outer.id, inner.id) for b in inner_body)
+
+
+class TestHotnessProfile:
+    def test_load_merges_trace_jsonl_and_metrics_json(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"name": "phase3.prediction_ms", "duration": 0.5}\n'
+            '{"name": "phase3.prediction_ms", "duration": 0.25}\n'
+            '{"name": "unknown.span", "duration": 1.0}\n'
+        )
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(
+            json.dumps(
+                {
+                    "nn.classifier.epoch_ms": {
+                        "type": "histogram",
+                        "count": 3,
+                        "sum": 1200.0,
+                    },
+                    "serve.requests": {"type": "counter", "value": 9},
+                }
+            )
+        )
+        profile = HotnessProfile.load([trace, metrics])
+        assert profile.entries["phase3.prediction_ms"] == pytest.approx(750.0)
+        assert profile.entries["nn.classifier.epoch_ms"] == pytest.approx(
+            1200.0
+        )
+        assert "serve.requests" not in profile.entries
+        ms, critical = profile.hotness(
+            "repro.core.phase3.Phase3Predictor._score_episode"
+        )
+        assert ms == pytest.approx(750.0)
+        assert critical
+        # nn.model sits under both the predict and fit owner tables.
+        ms, critical = profile.hotness("repro.nn.model.fit")
+        assert ms == pytest.approx(1950.0)
+        assert critical
+        assert profile.hotness("repro.simlog.render") == (0.0, False)
+
+    def test_apply_profile_ranks_and_escalates(self, tmp_path):
+        hot = tmp_path / "repro"
+        (hot / "core").mkdir(parents=True)
+        for init in (hot / "__init__.py", hot / "core" / "__init__.py"):
+            init.write_text('"""Pkg."""\n\n__all__ = []\n')
+        (hot / "core" / "phase3.py").write_text(
+            _doc(
+                textwrap.dedent(
+                    '''
+                    def score(mses: np.ndarray, threshold: float) -> list:
+                        """Filter."""
+                        out = []
+                        for m in mses:
+                            out.append(m <= threshold)
+                        return out
+                    '''
+                )
+            )
+        )
+        (hot / "cold.py").write_text(
+            _doc(
+                textwrap.dedent(
+                    '''
+                    def fmt(parts: list) -> str:
+                        """Concat."""
+                        text = ""
+                        for p in parts:
+                            text += str(p)
+                        return text
+                    '''
+                )
+            )
+        )
+        modules, errors = load_modules([hot])
+        assert not errors
+        from repro.lint.engine import lint_modules
+
+        report = lint_modules(modules, rules=get_rules(["P1", "P3"]))
+        assert len(report.findings) == 2
+        profile = HotnessProfile(
+            {"phase3.prediction_ms": 750.0}
+        )
+        ranked = apply_profile(report.findings, modules, profile)
+        assert ranked[0].qualified == "repro.core.phase3.score"
+        assert ranked[0].finding.level == "error"
+        assert ranked[0].finding.hotness_ms == pytest.approx(750.0)
+        assert ranked[1].finding.level == "note"
+        assert ranked[1].finding.hotness_ms == 0.0
+        assert LEVEL_ORDER[ranked[0].finding.level] > LEVEL_ORDER["note"]
+
+
+class TestGoldenRankedReport:
+    def test_cli_ranked_report_is_pinned(self, tmp_path):
+        """End-to-end golden: fixed tree + fixed profile -> fixed report."""
+        # The shadow tree sits one level down so the subprocess (whose
+        # sys.path[0] is the cwd) still imports the real repro package.
+        pkg = tmp_path / "tree" / "repro"
+        (pkg / "core").mkdir(parents=True)
+        for init in (pkg / "__init__.py", pkg / "core" / "__init__.py"):
+            init.write_text('"""Pkg."""\n\n__all__ = []\n')
+        hot_path = pkg / "core" / "phase3.py"
+        hot_path.write_text(
+            '"""Doc."""\n'
+            "\n"
+            "import numpy as np\n"
+            "\n"
+            '__all__ = ["score"]\n'
+            "\n"
+            "\n"
+            "def score(mses: np.ndarray, n: int) -> list:\n"
+            '    """Filter."""\n'
+            "    out = []\n"
+            "    for m in mses:\n"
+            "        scale = np.zeros(n)\n"
+            "        out.append(float(m) + scale[0])\n"
+            "    return out\n"
+        )
+        cold_path = pkg / "fmt.py"
+        cold_path.write_text(
+            '"""Doc."""\n'
+            "\n"
+            '__all__ = ["cat"]\n'
+            "\n"
+            "\n"
+            "def cat(parts: list) -> str:\n"
+            '    """Concat."""\n'
+            '    text = ""\n'
+            "    for p in parts:\n"
+            "        text += str(p)\n"
+            "    return text\n"
+        )
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"name": "phase3.prediction_ms", "duration": 0.75}\n'
+            '{"name": "parse.fit", "duration": 0.2}\n'
+        )
+        run = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "lint",
+                str(pkg),
+                "--no-baseline",
+                "--profile",
+                str(trace),
+            ],
+            cwd=tmp_path,
+            env={
+                "PYTHONPATH": str(SRC_ROOT),
+                "PYTHONHASHSEED": "0",
+                "PATH": "/usr/bin:/bin",
+            },
+            capture_output=True,
+            text=True,
+        )
+        assert run.returncode == 1, run.stderr
+        expected = (
+            f"error       750.0ms  {hot_path}:11:5: P1 loop iterates "
+            "ndarray 'mses' element-by-element applying per-element "
+            "operations in Python; replace with whole-array numpy ops "
+            "(arange/masks/ufuncs)\n"
+            f"error       750.0ms  {hot_path}:12:9: P2 loop-invariant "
+            "numpy.zeros allocation rebuilt every iteration (assigned "
+            "to 'scale'); hoist it above the loop — invariant "
+            "operands: n (parameter)\n"
+            f"note          0.0ms  {cold_path}:10:9: P3 string "
+            "accumulation 'text' += ... in a loop copies the "
+            "accumulated prefix every iteration (quadratic); collect "
+            "parts in a list and ''.join once\n"
+            "deshlint: 4 modules, 3 finding(s), 950.0ms profiled\n"
+        )
+        assert run.stdout == expected
+
+    def test_min_level_error_gates_on_hot_findings_only(self, tmp_path):
+        """Cold perf findings pass ``--min-level error``; hot ones fail."""
+        pkg = tmp_path / "tree" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text('"""Pkg."""\n\n__all__ = []\n')
+        (pkg / "fmt.py").write_text(
+            _doc(
+                textwrap.dedent(
+                    '''
+                    def cat(parts: list) -> str:
+                        """Concat."""
+                        text = ""
+                        for p in parts:
+                            text += str(p)
+                        return text
+                    '''
+                )
+            )
+        )
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"name": "phase3.prediction_ms", "duration": 1.0}\n')
+        base_cmd = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "lint",
+            str(pkg),
+            "--no-baseline",
+            "--profile",
+            str(trace),
+        ]
+        env = {
+            "PYTHONPATH": str(SRC_ROOT),
+            "PATH": "/usr/bin:/bin",
+        }
+        gated = subprocess.run(
+            base_cmd + ["--min-level", "error"],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert gated.returncode == 0, gated.stdout
+        strict = subprocess.run(
+            base_cmd,
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert strict.returncode == 1

@@ -1,16 +1,21 @@
 """Tier-1 self-lint gate: the repo's own source must pass deshlint.
 
 This is the same check CI runs via ``repro lint``: every rule (the
-syntactic R1-R5 plus the dataflow F1-F6) over the installed ``repro``
-package, with the checked-in baseline applied.  Any new finding turns
-the suite red.
+syntactic R1-R5, the dataflow F1-F6 and the perf P1-P3) over the
+installed ``repro`` package, with the checked-in baseline applied.
+Any new finding turns the suite red.
 """
 
 import json
+import random
+import subprocess
+import sys
+import textwrap
 from pathlib import Path
 
 import repro
 from repro.lint import Baseline, get_rules, lint_paths
+from repro.lint.engine import lint_modules, load_modules
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 PACKAGE_DIR = Path(repro.__file__).resolve().parent
@@ -42,22 +47,24 @@ def test_baseline_carries_no_stale_entries():
 
 
 def test_dataflow_rules_clean_with_empty_baseline():
-    """F1-F6 hold over the tree without any grandfathered debt.
+    """F1-F6 and P1-P3 hold over the tree without grandfathered debt.
 
-    The dataflow analyses were introduced with a clean slate: the
-    checked-in baseline must stay empty, and running only F1-F6 (no
-    baseline at all) must produce zero findings.  If an analysis change
-    starts flagging the repo, fix or ``allow[...]``-annotate the site —
-    don't grandfather it.
+    The dataflow and perf analyses were introduced with a clean slate:
+    the checked-in baseline must stay empty, and running only F1-F6 +
+    P1-P3 (no baseline at all) must produce zero findings.  If an
+    analysis change starts flagging the repo, fix or
+    ``allow[...]``-annotate the site — don't grandfather it.
     """
     entries = json.loads(BASELINE_PATH.read_text())["entries"]
     assert entries == [], "lint-baseline.json must stay empty"
     report = lint_paths(
         [PACKAGE_DIR],
-        rules=get_rules(["F1", "F2", "F3", "F4", "F5", "F6"]),
+        rules=get_rules(
+            ["F1", "F2", "F3", "F4", "F5", "F6", "P1", "P2", "P3"]
+        ),
     )
     rendered = "\n".join(f.render() for f in report.findings)
-    assert not report.findings, f"dataflow rules flag the repo:\n{rendered}"
+    assert not report.findings, f"dataflow/perf rules flag the repo:\n{rendered}"
 
 
 def test_parallel_jobs_report_matches_serial():
@@ -70,3 +77,115 @@ def test_parallel_jobs_report_matches_serial():
         f.to_dict() for f in parallel.findings
     ]
     assert serial.modules == parallel.modules
+
+
+def _write_violation_tree(root: Path) -> Path:
+    """A small package tree with violations from every rule family."""
+    pkg = root / "victim"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""Pkg."""\n\n__all__ = []\n')
+    (pkg / "rng.py").write_text(
+        '"""Doc."""\n\nimport random\n\n__all__ = []\n'
+    )
+    (pkg / "loops.py").write_text(
+        textwrap.dedent(
+            '''
+            """Doc."""
+
+            import numpy as np
+
+            __all__ = ["go"]
+
+
+            def go(xs: np.ndarray, n: int) -> float:
+                """Sum slowly."""
+                total = 0.0
+                for x in xs:
+                    scale = np.zeros(4)
+                    total += float(x) * 2.0 + scale[0]
+                return total
+            '''
+        ).lstrip()
+    )
+    (pkg / "quad.py").write_text(
+        textwrap.dedent(
+            '''
+            """Doc."""
+
+            __all__ = ["front"]
+
+
+            def front(items: list) -> list:
+                """Prepend everything."""
+                out: list = []
+                for item in items:
+                    out.insert(0, item)
+                return out
+            '''
+        ).lstrip()
+    )
+    return pkg
+
+
+def test_jobs_output_byte_identical_across_hash_seeds(tmp_path):
+    """Satellite determinism gate: stdout and SARIF are byte-identical
+    between ``--jobs 4`` and serial under PYTHONHASHSEED 0, 1 and 2.
+
+    The perf rules walk dicts of reaching definitions and kind maps —
+    any hash-order leak shows up as reordered findings or messages the
+    moment the hash seed moves, so the whole matrix must collapse to
+    one byte string.
+    """
+    pkg = _write_violation_tree(tmp_path)
+    src = Path(repro.__file__).resolve().parents[1]
+    outputs = set()
+    for seed in ("0", "1", "2"):
+        for jobs in ("1", "4"):
+            sarif = tmp_path / f"seed{seed}-jobs{jobs}.sarif"
+            run = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "lint",
+                    str(pkg),
+                    "--no-baseline",
+                    "--jobs",
+                    jobs,
+                    "--sarif",
+                    str(sarif),
+                ],
+                cwd=tmp_path,
+                env={
+                    "PYTHONPATH": str(src),
+                    "PYTHONHASHSEED": seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+                capture_output=True,
+                text=True,
+            )
+            assert run.returncode == 1, run.stderr
+            outputs.add((run.stdout, sarif.read_bytes()))
+    assert len(outputs) == 1, "lint output varies with jobs/hash seed"
+    stdout = next(iter(outputs))[0]
+    for rule in ("R1", "P1", "P2", "P3"):
+        assert rule in stdout
+
+
+def test_report_invariant_under_module_discovery_order(tmp_path):
+    """Shuffling the module list must not change the report.
+
+    Project-wide hooks and the final sort see modules in discovery
+    order; a rule that accumulates state across modules in a
+    order-sensitive way would leak it here.
+    """
+    pkg = _write_violation_tree(tmp_path)
+    modules, errors = load_modules([pkg])
+    assert len(modules) >= 4 and not errors
+    baseline_report = lint_modules(modules)
+    expected = [f.to_dict() for f in baseline_report.findings]
+    for seed in (0, 1, 2):
+        shuffled = list(modules)
+        random.Random(seed).shuffle(shuffled)
+        report = lint_modules(shuffled)
+        assert [f.to_dict() for f in report.findings] == expected
