@@ -12,6 +12,8 @@
   (Table 8, Figure 9, Table 9),
 * :mod:`~repro.analysis.cost` — prediction-latency measurement
   (Figure 10),
+* :mod:`~repro.analysis.compare` — the Table-10-style model-zoo
+  comparison grid (``repro compare``),
 * :mod:`~repro.analysis.report` — ASCII rendering of tables and series.
 """
 
@@ -31,6 +33,13 @@ from .cost import (
     ThroughputSample,
     measure_batch_throughput,
     measure_prediction_cost,
+)
+from .compare import (
+    COMPARE_PRESETS,
+    CompareCell,
+    CompareResult,
+    compare_models,
+    preset_config,
 )
 from .recovery import RecoveryAction, PAPER_ACTIONS, recovery_feasibility
 from .spatial import SpatialCorrelation, spatial_correlation
@@ -60,6 +69,11 @@ __all__ = [
     "ThroughputSample",
     "measure_batch_throughput",
     "measure_prediction_cost",
+    "COMPARE_PRESETS",
+    "CompareCell",
+    "CompareResult",
+    "compare_models",
+    "preset_config",
     "RecoveryAction",
     "PAPER_ACTIONS",
     "recovery_feasibility",

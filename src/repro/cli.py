@@ -19,7 +19,14 @@ Commands
     End-to-end: generate (or read) a system, train on the 30% split and
     print the Table-6 metrics plus lead times for the rest.  With
     ``--cache-dir``, training stages and the encoded test stream are
-    cached so repeat invocations skip the parse work.
+    cached so repeat invocations skip the parse work.  ``--model``
+    selects the model-zoo backbone family (``lstm``/``tcn``/
+    ``attention``) for both ``train`` and ``evaluate``.
+``compare``
+    The Table-10-style model-zoo grid: train every requested backbone
+    family on every requested system and print recall / accuracy /
+    mean lead time / per-prediction latency per cell, optionally as
+    JSON.  ``--preset tiny`` shrinks the networks to CI-smoke scale.
 ``chaos``
     Train once, then score the test split clean *and* after seeded fault
     injection + hardened re-ingest; prints the recall/FP-rate deltas and
@@ -68,6 +75,7 @@ Examples
     python -m repro train --log m3.log.gz --fraction 0.3 --model-dir model/
     python -m repro predict --log m3.log.gz --model-dir model/
     python -m repro evaluate --system M4 --seed 9
+    python -m repro compare --models lstm,tcn,attention --system M1
     python -m repro chaos --system M1 --profile moderate --chaos-seed 3
     python -m repro trace predict --log m3.log.gz --model-dir model/
     python -m repro metrics --format prom train --log m3.log.gz \
@@ -102,6 +110,7 @@ __all__ = [
     "cmd_predict",
     "cmd_pipeline",
     "cmd_evaluate",
+    "cmd_compare",
     "cmd_report",
     "cmd_chaos",
     "cmd_serve",
@@ -132,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--model-dir", required=True, help="output directory")
     t.add_argument("--seed", type=int, default=2018)
     t.add_argument(
+        "--model",
+        default="lstm",
+        help="model-zoo backbone family (lstm, tcn, attention)",
+    )
+    t.add_argument(
         "--cache-dir",
         help="stage artifact cache root (default: <model-dir>/cache)",
     )
@@ -155,8 +169,41 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--seed", type=int, default=2018)
     e.add_argument("--train-fraction", type=float, default=0.3)
     e.add_argument(
+        "--model",
+        default="lstm",
+        help="model-zoo backbone family (lstm, tcn, attention)",
+    )
+    e.add_argument(
         "--cache-dir",
         help="artifact cache root for training stages and the parsed test log",
+    )
+
+    cp = sub.add_parser(
+        "compare",
+        help="Table-10-style grid: every model family on every system",
+    )
+    cp.add_argument(
+        "--models",
+        default="lstm,tcn,attention",
+        help="comma-separated model-zoo families to compare",
+    )
+    cp.add_argument(
+        "--system",
+        default="M1",
+        help="comma-separated synthetic systems (M1..M4)",
+    )
+    cp.add_argument(
+        "--preset",
+        default="paper",
+        choices=["paper", "tiny"],
+        help="hyperparameter preset: paper (Table 5) or tiny (CI smoke)",
+    )
+    cp.add_argument("--seed", type=int, default=2018)
+    cp.add_argument("--train-fraction", type=float, default=0.3)
+    cp.add_argument("--json", help="also write the grid as JSON to this path")
+    cp.add_argument(
+        "--cache-dir",
+        help="artifact cache root (per-model fingerprints keep cells warm)",
     )
 
     r = sub.add_parser("report", help="write a markdown evaluation report")
@@ -444,7 +491,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         raise ReproError(f"--fraction must be in (0, 1], got {args.fraction}")
     if args.fraction < 1.0:
         records, _ = chronological_split(records, args.fraction)
-    config = DeshConfig(seed=args.seed)
+    config = DeshConfig(seed=args.seed, model=args.model)
     model_dir = Path(args.model_dir)
     cache_dir: Path | None = None
     if not args.no_cache:
@@ -562,7 +609,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
     log = generate_system(args.system, seed=args.seed)
     train, test = log.split(args.train_fraction)
-    model = Desh(DeshConfig(seed=args.seed)).fit(
+    model = Desh(DeshConfig(seed=args.seed, model=args.model)).fit(
         list(train.records), train_classifier=False, cache_dir=args.cache_dir
     )
     result = evaluate_model(
@@ -573,11 +620,37 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     )
     m = result.metrics
     lead = lead_time_overall(result)
-    print(f"system {args.system} (seed {args.seed}):")
+    print(f"system {args.system} (seed {args.seed}, model {args.model}):")
     print(f"  recall    {m.recall:6.2f}%   precision {m.precision:6.2f}%")
     print(f"  accuracy  {m.accuracy:6.2f}%   F1        {m.f1:6.2f}%")
     print(f"  FP rate   {m.fp_rate:6.2f}%   FN rate   {m.fn_rate:6.2f}%")
     print(f"  avg lead  {lead.mean:6.1f}s over {lead.count} true positives")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """``repro compare``: the Table-10-style model-zoo grid.
+
+    Trains every requested backbone family on every requested system
+    and prints the aligned grid (recall / accuracy / lead time /
+    per-prediction latency); ``--json`` also writes it as JSON.
+    """
+    from .analysis import compare_models
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    systems = [s.strip() for s in args.system.split(",") if s.strip()]
+    result = compare_models(
+        models,
+        systems,
+        preset=args.preset,
+        seed=args.seed,
+        train_fraction=args.train_fraction,
+        cache_dir=args.cache_dir,
+    )
+    print(result.render())
+    if args.json:
+        Path(args.json).write_text(result.to_json())
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -1004,6 +1077,7 @@ _COMMANDS = {
     "predict": cmd_predict,
     "pipeline": cmd_pipeline,
     "evaluate": cmd_evaluate,
+    "compare": cmd_compare,
     "report": cmd_report,
     "chaos": cmd_chaos,
     "serve": cmd_serve,

@@ -204,6 +204,12 @@ class DeshConfig:
 
     ``train_fraction`` follows the paper's 30/70 chronological split
     (Section 4: "30% of the data is used for training").
+
+    ``model`` selects the model-zoo backbone family used by the phase-1
+    classifier and the phase-2/3 regressor (``lstm`` — the paper's
+    architecture — or ``tcn``/``attention``); ``model_params`` carries
+    family-specific hyperparameter overrides, validated against the
+    family's registered schema.
     """
 
     embedding: EmbeddingConfig = field(default_factory=EmbeddingConfig)
@@ -212,12 +218,21 @@ class DeshConfig:
     phase3: Phase3Config = field(default_factory=Phase3Config)
     train_fraction: float = 0.30
     seed: int = 2018
+    model: str = "lstm"
+    model_params: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.train_fraction < 1.0:
             raise ConfigError(
                 f"train_fraction must be in (0, 1), got {self.train_fraction!r}"
             )
+        # Normalize to a plain dict so to_dict()/fingerprints serialize.
+        object.__setattr__(self, "model_params", dict(self.model_params))
+        # Imported lazily: repro.nn pulls in the full NumPy substrate,
+        # which configuration-only callers should not pay for at import.
+        from .nn.registry import get_model
+
+        get_model(self.model).resolve_params(self.model_params)
 
     def replace(self, **kwargs: object) -> "DeshConfig":
         """Return a copy with the given top-level fields replaced."""
@@ -245,6 +260,8 @@ class DeshConfig:
                 phase3=Phase3Config(**data["phase3"]),
                 train_fraction=data["train_fraction"],
                 seed=data["seed"],
+                model=data.get("model", "lstm"),
+                model_params=data.get("model_params", {}),
             )
         except (KeyError, TypeError) as exc:
             raise ConfigError(f"malformed DeshConfig payload: {exc}") from exc

@@ -145,6 +145,8 @@ class DeshModel:
             vocab_size=self.phase2.scaler.vocab_size,
             config=self.config.phase2,
             seed=self.config.seed,
+            model=self.config.model,
+            model_params=self.config.model_params,
         )
         x, y = trainer.build_windows(self.phase1.chains)
         cfg = self.config.phase2

@@ -19,7 +19,7 @@ extracted failure chains — feed phase 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -64,6 +64,8 @@ class Phase1Trainer:
         embedding_config: EmbeddingConfig | None = None,
         chain_extractor: ChainExtractor | None = None,
         seed: int = 0,
+        model: str = "lstm",
+        model_params: Mapping[str, object] | None = None,
     ) -> None:
         self.parser = parser
         self.config = config if config is not None else Phase1Config()
@@ -74,6 +76,8 @@ class Phase1Trainer:
             chain_extractor if chain_extractor is not None else ChainExtractor()
         )
         self.seed = seed
+        self.model = model
+        self.model_params = dict(model_params or {})
 
     # ------------------------------------------------------------------
     def train(
@@ -170,6 +174,8 @@ class Phase1Trainer:
             steps=cfg.prediction_steps,
             seed=self.seed,
             pretrained_embeddings=embedder.vectors,
+            backbone=self.model,
+            backbone_params=self.model_params,
         )
         losses = classifier.fit(
             x,

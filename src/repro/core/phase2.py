@@ -17,7 +17,7 @@ untrainable and undetectable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -67,12 +67,16 @@ class Phase2Trainer:
         *,
         config: Phase2Config | None = None,
         seed: int = 0,
+        model: str = "lstm",
+        model_params: Mapping[str, object] | None = None,
     ) -> None:
         if vocab_size < 2:
             raise TrainingError(f"vocab_size must be >= 2, got {vocab_size}")
         self.vocab_size = vocab_size
         self.config = config if config is not None else Phase2Config()
         self.seed = seed
+        self.model = model
+        self.model_params = dict(model_params or {})
         self.scaler = LeadTimeScaler(
             max_lead_seconds=self.config.max_lead_seconds, vocab_size=vocab_size
         )
@@ -151,6 +155,8 @@ class Phase2Trainer:
             hidden_size=cfg.hidden_size,
             num_layers=cfg.hidden_layers,
             seed=self.seed,
+            backbone=self.model,
+            backbone_params=self.model_params,
         )
         losses = regressor.fit(
             x,

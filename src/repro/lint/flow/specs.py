@@ -1,7 +1,9 @@
 """Static view of the nn layers' ``@tensor_contract`` specs.
 
 F1's transfer functions are the *declared* contracts on
-``Dense``/``Embedding``/``LSTMCell``/``StackedLSTM``/``BatchedScorer``:
+``Dense``/``Embedding``/``LSTMCell``/``StackedLSTM``/``BatchedScorer``
+and the model-zoo kernels (``CausalConv1d``/``TemporalBlock``/
+``TCNBackbone``/``AttentionLayer``/``AttentionBackbone``):
 what a layer method promises about its input/output shapes.  This module harvests
 them once — via :func:`repro.nn.contracts.declared_contracts`, which
 works under ``python -O`` too — together with each constructor's
@@ -60,14 +62,27 @@ def parse_contract(spec: str):
 def builtin_layer_specs() -> Dict[str, LayerSpec]:
     """The known nn layer classes, keyed by qualified class name."""
     try:
+        from ...nn.attention import AttentionBackbone, AttentionLayer
         from ...nn.batched import BatchedScorer
         from ...nn.contracts import declared_contracts
         from ...nn.layers import Dense, Embedding
         from ...nn.lstm import LSTMCell, StackedLSTM
+        from ...nn.tcn import CausalConv1d, TCNBackbone, TemporalBlock
     except Exception:  # deshlint: allow[R4] optional table: lint must run without numpy
         return {}
     table: Dict[str, LayerSpec] = {}
-    for cls in (Dense, Embedding, LSTMCell, StackedLSTM, BatchedScorer):
+    for cls in (
+        Dense,
+        Embedding,
+        LSTMCell,
+        StackedLSTM,
+        BatchedScorer,
+        CausalConv1d,
+        TemporalBlock,
+        TCNBackbone,
+        AttentionLayer,
+        AttentionBackbone,
+    ):
         methods = {}
         for method, spec in declared_contracts(cls).items():
             parsed = parse_contract(spec)

@@ -11,6 +11,10 @@ required pieces directly on NumPy with full backpropagation:
 * :mod:`~repro.nn.embeddings` — skip-gram word2vec with negative sampling,
 * :mod:`~repro.nn.model` — the sequence classifier / regressor models
   used by Desh phases 1 and 2-3 respectively,
+* :mod:`~repro.nn.tcn` — causal dilated temporal-convolution backbone,
+* :mod:`~repro.nn.attention` — single-head causal attention backbone,
+* :mod:`~repro.nn.registry` — the model zoo: named backbone families
+  (``lstm``/``tcn``/``attention``) behind one builder + schema registry,
 * :mod:`~repro.nn.contracts` — runtime shape/dtype contracts on the
   layer forward/backward paths (compiled out under ``python -O``),
 * :mod:`~repro.nn.batched` — the batch-major inference scoring core
@@ -22,6 +26,7 @@ loop" idiom.
 """
 
 from .activations import sigmoid, sigmoid_infer, tanh, softmax, relu
+from .attention import AttentionBackbone, AttentionLayer
 from .batched import BatchedScorer
 from .contracts import TensorSpec, parse_spec, tensor_contract
 from .initializers import glorot_uniform, orthogonal
@@ -31,6 +36,15 @@ from .losses import CategoricalCrossEntropy, MeanSquaredError
 from .optimizers import SGD, RMSprop, Adam, clip_gradients
 from .embeddings import SkipGramEmbedder
 from .model import SequenceClassifier, SequenceRegressor
+from .registry import (
+    HyperParam,
+    ModelFamily,
+    build_backbone,
+    get_model,
+    register_model,
+    registered_models,
+)
+from .tcn import CausalConv1d, TCNBackbone, TemporalBlock
 from .data import sliding_windows, multi_step_targets, batch_iterator
 from .metrics import perplexity, topk_accuracy
 
@@ -38,6 +52,17 @@ __all__ = [
     "TensorSpec",
     "parse_spec",
     "tensor_contract",
+    "AttentionBackbone",
+    "AttentionLayer",
+    "CausalConv1d",
+    "TCNBackbone",
+    "TemporalBlock",
+    "HyperParam",
+    "ModelFamily",
+    "build_backbone",
+    "get_model",
+    "register_model",
+    "registered_models",
     "sigmoid",
     "sigmoid_infer",
     "BatchedScorer",

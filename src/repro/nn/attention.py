@@ -1,0 +1,264 @@
+"""Single-head causal self-attention backbone with learned positions.
+
+A small attention model in the transformer family, sized for Desh's
+short history windows (8 phrase ids in phase 1, 5 chain vectors in
+phases 2-3):
+
+1. an input projection lifts ``(B, T, input_size)`` to the model width;
+2. a **learned positional encoding** table is added (the model has no
+   recurrence or convolution, so order information must be injected);
+3. ``num_layers`` single-head **scaled dot-product attention** layers
+   with a causal mask (position ``t`` attends to ``0..t`` only) and a
+   residual connection refine the representation;
+4. a causal **mean-pool head** finishes: output ``t`` is the mean of
+   the attended representations at positions ``0..t``, so the last
+   position — the summary the sequence models read — is the mean pool
+   over the whole window while every prefix stays strictly causal.
+
+All matmuls keep the batch axis stacked (``(B, T, H)`` against 2-D
+weights, and per-sequence ``(T, H) @ (H, T)`` score products), so NumPy
+runs one GEMM of fixed shape per sequence: a window's outputs are
+bitwise independent of how many other windows share the batch, matching
+the LSTM and TCN inference kernels.
+
+Implements the model-zoo backbone protocol: ``forward`` / ``backward``
+(training, cached), ``forward_infer`` (cache-free, thread-safe), and
+``params`` / ``grads`` / ``zero_grad``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from .activations import softmax
+from .contracts import tensor_contract
+from .initializers import glorot_uniform
+from .layers import Dense
+
+__all__ = ["AttentionLayer", "AttentionBackbone"]
+
+
+class AttentionLayer:
+    """One single-head causal self-attention layer with a residual add.
+
+    ``out = h + softmax(mask(Q K^T / sqrt(H))) V Wo`` with
+    ``Q = h Wq``, ``K = h Wk``, ``V = h Wv``; the mask zeroes attention
+    to future positions.
+    """
+
+    def __init__(self, hidden_size: int, rng: np.random.Generator) -> None:
+        if hidden_size <= 0:
+            raise ShapeError(f"hidden_size must be >= 1, got {hidden_size}")
+        self.hidden_size = hidden_size
+        self.Wq = glorot_uniform(rng, hidden_size, hidden_size)
+        self.Wk = glorot_uniform(rng, hidden_size, hidden_size)
+        self.Wv = glorot_uniform(rng, hidden_size, hidden_size)
+        self.Wo = glorot_uniform(rng, hidden_size, hidden_size)
+        self.dWq = np.zeros_like(self.Wq)
+        self.dWk = np.zeros_like(self.Wk)
+        self.dWv = np.zeros_like(self.Wv)
+        self.dWo = np.zeros_like(self.Wo)
+        self._cache: Optional[tuple] = None
+
+    @staticmethod
+    def _causal_mask(T: int) -> np.ndarray:
+        """``(T, T)`` additive mask: ``-inf`` strictly above the diagonal."""
+        mask = np.zeros((T, T), dtype=np.float64)
+        mask[np.triu_indices(T, k=1)] = -np.inf
+        return mask
+
+    def _attend(self, h: np.ndarray) -> tuple:
+        """The attention tensors for *h*: ``(Q, K, V, A, ctx, out)``."""
+        T = h.shape[1]
+        scale = 1.0 / math.sqrt(self.hidden_size)
+        q = h @ self.Wq
+        k = h @ self.Wk
+        v = h @ self.Wv
+        scores = (q @ k.transpose(0, 2, 1)) * scale + self._causal_mask(T)
+        attn = softmax(scores, axis=-1)
+        ctx = attn @ v
+        out = h + ctx @ self.Wo
+        return q, k, v, attn, ctx, out
+
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, hidden_size):float")
+    def forward(self, h: np.ndarray) -> np.ndarray:
+        """Attend causally; caches the attention tensors for backward."""
+        q, k, v, attn, ctx, out = self._attend(h)
+        self._cache = (h, q, k, v, attn, ctx)
+        return out
+
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, hidden_size):float")
+    def forward_infer(self, h: np.ndarray) -> np.ndarray:
+        """Cache-free forward for inference (safe to call concurrently)."""
+        return self._attend(h)[-1]
+
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, hidden_size):float")
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backprop through the residual, projection and softmax."""
+        if self._cache is None:
+            raise ShapeError("AttentionLayer.backward called before forward")
+        h, q, k, v, attn, ctx = self._cache
+        H = self.hidden_size
+        scale = 1.0 / math.sqrt(H)
+        ctx2 = ctx.reshape(-1, H)
+        dout2 = dout.reshape(-1, H)
+        self.dWo += ctx2.T @ dout2
+        dctx = dout @ self.Wo.T
+        dattn = dctx @ v.transpose(0, 2, 1)
+        dv = attn.transpose(0, 2, 1) @ dctx
+        # Softmax Jacobian rowwise; masked columns have attn == 0, so
+        # their score gradient vanishes without touching the -inf mask.
+        dscores = attn * (
+            dattn - np.sum(dattn * attn, axis=-1, keepdims=True)
+        )
+        dscores *= scale
+        dq = dscores @ k
+        dk = dscores.transpose(0, 2, 1) @ q
+        h2 = h.reshape(-1, H)
+        self.dWq += h2.T @ dq.reshape(-1, H)
+        self.dWk += h2.T @ dk.reshape(-1, H)
+        self.dWv += h2.T @ dv.reshape(-1, H)
+        dh = dout.copy()  # residual path
+        dh += dq @ self.Wq.T
+        dh += dk @ self.Wk.T
+        dh += dv @ self.Wv.T
+        return dh
+
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, np.ndarray]:
+        """Live views of the projection matrices, keyed by name."""
+        return {"Wq": self.Wq, "Wk": self.Wk, "Wv": self.Wv, "Wo": self.Wo}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradient accumulators matching :meth:`params`."""
+        return {"Wq": self.dWq, "Wk": self.dWk, "Wv": self.dWv, "Wo": self.dWo}
+
+    def zero_grad(self) -> None:
+        """Clear the gradient accumulators in place."""
+        self.dWq[...] = 0.0
+        self.dWk[...] = 0.0
+        self.dWv[...] = 0.0
+        self.dWo[...] = 0.0
+
+
+class AttentionBackbone:
+    """Projection + learned positions + attention stack + causal mean pool.
+
+    Drop-in replacement for :class:`~repro.nn.lstm.StackedLSTM` in the
+    sequence models; ``num_layers`` counts attention layers.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        *,
+        max_len: int = 256,
+    ) -> None:
+        if num_layers < 1:
+            raise ShapeError(f"num_layers must be >= 1, got {num_layers}")
+        if max_len < 1:
+            raise ShapeError(f"max_len must be >= 1, got {max_len}")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.max_len = max_len
+        self.proj = Dense(input_size, hidden_size, rng)
+        self.pos = rng.uniform(-0.05, 0.05, size=(max_len, hidden_size))
+        self.dpos = np.zeros_like(self.pos)
+        self.layers = [AttentionLayer(hidden_size, rng) for _ in range(num_layers)]
+        self._T: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ShapeError(
+                f"input must be (B, T, {self.input_size}), got {x.shape}"
+            )
+        if x.shape[1] > self.max_len:
+            raise ShapeError(
+                f"sequence length {x.shape[1]} exceeds max_len {self.max_len}"
+            )
+        return x
+
+    @staticmethod
+    def _causal_mean(h: np.ndarray) -> np.ndarray:
+        """Prefix means along time: ``out[t] = mean(h[0..t])``."""
+        T = h.shape[1]
+        inv = 1.0 / np.arange(1, T + 1, dtype=np.float64)
+        return np.cumsum(h, axis=1) * inv[None, :, None]
+
+    @tensor_contract("(B, T, input_size):float -> (B, T, hidden_size):float")
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Project, attend and pool, caching for :meth:`backward`."""
+        x = self._validate(x)
+        T = x.shape[1]
+        self._T = T
+        h = self.proj.forward(x) + self.pos[:T]
+        for layer in self.layers:
+            h = layer.forward(h)
+        return self._causal_mean(h)
+
+    @tensor_contract("(B, T, input_size):float -> (B, T, hidden_size):float")
+    def forward_infer(self, x: np.ndarray) -> np.ndarray:
+        """Cache-free forward for the batch-major inference path.
+
+        Writes no instance state, so concurrent calls are safe and each
+        row's output is bitwise independent of its batch neighbours.
+        """
+        x = self._validate(x)
+        T = x.shape[1]
+        h = x @ self.proj.W + self.proj.b + self.pos[:T]
+        for layer in self.layers:
+            h = layer.forward_infer(h)
+        return self._causal_mean(h)
+
+    @tensor_contract("(B, T, hidden_size):float -> (B, T, input_size):float")
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Backprop through pool, attention stack, positions, projection."""
+        if self._T is None:
+            raise ShapeError("AttentionBackbone.backward called before forward")
+        T = self._T
+        inv = 1.0 / np.arange(1, T + 1, dtype=np.float64)
+        # d/dh of the prefix mean: h[s] feeds every pooled t >= s with
+        # weight 1/(t+1) — a reversed cumulative sum of dout/(t+1).
+        dh = np.cumsum((dout * inv[None, :, None])[:, ::-1, :], axis=1)[:, ::-1, :]
+        for layer in reversed(self.layers):
+            dh = layer.backward(dh)
+        self.dpos[:T] += dh.sum(axis=0)
+        return self.proj.backward(dh)
+
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, np.ndarray]:
+        """All trainable parameters, namespaced per sub-module."""
+        out: Dict[str, np.ndarray] = {
+            f"proj.{k}": v for k, v in self.proj.params().items()
+        }
+        out["pos"] = self.pos
+        for i, layer in enumerate(self.layers):
+            out.update({f"a{i}.{k}": v for k, v in layer.params().items()})
+        return out
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """All gradients, namespaced like :meth:`params`."""
+        out: Dict[str, np.ndarray] = {
+            f"proj.{k}": v for k, v in self.proj.grads().items()
+        }
+        out["pos"] = self.dpos
+        for i, layer in enumerate(self.layers):
+            out.update({f"a{i}.{k}": v for k, v in layer.grads().items()})
+        return out
+
+    def zero_grad(self) -> None:
+        """Clear every gradient accumulator in place."""
+        self.proj.zero_grad()
+        self.dpos[...] = 0.0
+        for layer in self.layers:
+            layer.zero_grad()

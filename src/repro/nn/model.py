@@ -1,13 +1,18 @@
 """Sequence models: the trainable units behind Desh's three phases.
 
-* :class:`SequenceClassifier` — embedding + stacked LSTM + one softmax
-  head per prediction step.  Phase 1 instantiates it with history 8 and
-  3 steps (Table 5); the DeepLog baseline reuses it with 1 step.
-* :class:`SequenceRegressor` — stacked LSTM + linear head over
+* :class:`SequenceClassifier` — embedding + sequence backbone + one
+  softmax head per prediction step.  Phase 1 instantiates it with
+  history 8 and 3 steps (Table 5); the DeepLog baseline reuses it with
+  1 step.
+* :class:`SequenceRegressor` — sequence backbone + linear head over
   continuous ``(dT, phrase)`` vectors with MSE loss; phases 2-3.
 
-Both expose ``fit`` / prediction methods and ``save`` / ``load`` npz
-round-tripping.
+The backbone — the ``(B, T, D) -> (B, T, H)`` core whose last position
+summarizes the window — is pluggable via the model zoo
+(:mod:`repro.nn.registry`): the paper's stacked LSTM by default, or the
+``tcn`` / ``attention`` families by name.  Both models expose ``fit`` /
+prediction methods and ``save`` / ``load`` npz round-tripping; saved
+files record the backbone family and rebuild it through the registry.
 """
 
 from __future__ import annotations
@@ -24,8 +29,8 @@ from ..obs import current_tracer, metrics_registry
 from .data import batch_iterator
 from .layers import Dense, Embedding
 from .losses import CategoricalCrossEntropy, MeanSquaredError
-from .lstm import StackedLSTM
 from .optimizers import RMSprop, SGD, _OptimizerBase, clip_gradients
+from .registry import build_backbone
 
 __all__ = ["SequenceClassifier", "SequenceRegressor"]
 
@@ -84,11 +89,13 @@ def _checkpoint_fit(model, checkpoint, opt, rng, epoch: int) -> None:
 
 
 class SequenceClassifier:
-    """Next-phrase classifier: Embedding -> StackedLSTM -> k softmax heads.
+    """Next-phrase classifier: Embedding -> backbone -> k softmax heads.
 
     For a history window of phrase ids, head ``k`` predicts the phrase
     ``k+1`` positions after the window — the paper's "3-step prediction
-    (to predict the next 3 phrases)".
+    (to predict the next 3 phrases)".  ``backbone`` names a model-zoo
+    family (``lstm``/``tcn``/``attention``); ``backbone_params`` are the
+    family-specific hyperparameter overrides.
     """
 
     def __init__(
@@ -101,6 +108,8 @@ class SequenceClassifier:
         steps: int = 3,
         seed: int = 0,
         pretrained_embeddings: np.ndarray | None = None,
+        backbone: str = "lstm",
+        backbone_params: Mapping[str, object] | None = None,
     ) -> None:
         if vocab_size < 2:
             raise ShapeError(f"vocab_size must be >= 2, got {vocab_size}")
@@ -113,10 +122,15 @@ class SequenceClassifier:
         self.num_layers = num_layers
         self.steps = steps
         self.seed = seed
+        self.backbone_name = backbone
+        self.backbone_params = dict(backbone_params or {})
         self.embedding = Embedding(vocab_size, embed_dim, rng)
         if pretrained_embeddings is not None:
             self.embedding.load_vectors(pretrained_embeddings)
-        self.lstm = StackedLSTM(embed_dim, hidden_size, num_layers, rng)
+        self.backbone = build_backbone(
+            backbone, embed_dim, hidden_size, num_layers, rng,
+            self.backbone_params,
+        )
         self.heads = [Dense(hidden_size, vocab_size, rng) for _ in range(steps)]
         self.loss_fn = CategoricalCrossEntropy()
         self.history: list[float] = []
@@ -131,7 +145,7 @@ class SequenceClassifier:
         if x_ids.ndim != 2:
             raise ShapeError(f"input ids must be (B, T), got {x_ids.shape}")
         vecs = self.embedding.forward(x_ids)  # (B, T, E)
-        hs = self.lstm.forward(vecs)  # (B, T, H)
+        hs = self.backbone.forward(vecs)  # (B, T, H)
         self._last_hs_shape = hs.shape
         last = hs[:, -1, :]  # (B, H)
         return [head.forward(last) for head in self.heads]
@@ -143,12 +157,12 @@ class SequenceClassifier:
             dlast += head.backward(dl)
         dhs = np.zeros((B, T, H))
         dhs[:, -1, :] = dlast
-        dvecs = self.lstm.backward(dhs)
+        dvecs = self.backbone.backward(dhs)
         self.embedding.backward(dvecs)
 
     def _zero_grad(self) -> None:
         self.embedding.zero_grad()
-        self.lstm.zero_grad()
+        self.backbone.zero_grad()
         for head in self.heads:
             head.zero_grad()
 
@@ -156,7 +170,7 @@ class SequenceClassifier:
         """All trainable parameters, namespaced per sub-module."""
         return _merge_params(
             self.embedding.params(),
-            self.lstm.params(),
+            self.backbone.params(),
             *[h.params() for h in self.heads],
         )
 
@@ -164,7 +178,7 @@ class SequenceClassifier:
         """All gradients, namespaced like :meth:`params`."""
         return _merge_params(
             self.embedding.grads(),
-            self.lstm.grads(),
+            self.backbone.grads(),
             *[h.grads() for h in self.heads],
         )
 
@@ -313,6 +327,8 @@ class SequenceClassifier:
             "steps": self.steps,
             "seed": self.seed,
             "fitted": self._fitted,
+            "backbone": self.backbone_name,
+            "backbone_params": self.backbone_params,
         }
         arrays = {k.replace(".", "__"): v for k, v in self.params().items()}
         np.savez(path, __meta__=json.dumps(meta), **arrays)
@@ -334,6 +350,10 @@ class SequenceClassifier:
             num_layers=meta["num_layers"],
             steps=meta["steps"],
             seed=meta["seed"],
+            # Files written before the model zoo carry no backbone field;
+            # they are implicitly the paper's LSTM.
+            backbone=meta.get("backbone", "lstm"),
+            backbone_params=meta.get("backbone_params", {}),
         )
         params = model.params()
         for key, arr in params.items():
@@ -346,11 +366,12 @@ class SequenceClassifier:
 
 
 class SequenceRegressor:
-    """Continuous sequence regressor: StackedLSTM -> linear head, MSE loss.
+    """Continuous sequence regressor: backbone -> linear head, MSE loss.
 
     Phase 2 trains it on windows of ``(dT, phrase_id)`` 2-state vectors
     with RMSprop (Table 5); phase 3 reuses the trained weights for
-    per-node inference.
+    per-node inference.  ``backbone`` names a model-zoo family
+    (``lstm``/``tcn``/``attention``).
     """
 
     def __init__(
@@ -361,6 +382,8 @@ class SequenceRegressor:
         hidden_size: int = 64,
         num_layers: int = 2,
         seed: int = 0,
+        backbone: str = "lstm",
+        backbone_params: Mapping[str, object] | None = None,
     ) -> None:
         if input_dim < 1:
             raise ShapeError(f"input_dim must be >= 1, got {input_dim}")
@@ -370,7 +393,12 @@ class SequenceRegressor:
         self.hidden_size = hidden_size
         self.num_layers = num_layers
         self.seed = seed
-        self.lstm = StackedLSTM(input_dim, hidden_size, num_layers, rng)
+        self.backbone_name = backbone
+        self.backbone_params = dict(backbone_params or {})
+        self.backbone = build_backbone(
+            backbone, input_dim, hidden_size, num_layers, rng,
+            self.backbone_params,
+        )
         self.head = Dense(hidden_size, self.output_dim, rng)
         self.loss_fn = MeanSquaredError()
         self.history: list[float] = []
@@ -384,7 +412,7 @@ class SequenceRegressor:
             raise ShapeError(
                 f"input must be (B, T, {self.input_dim}), got {x.shape}"
             )
-        hs = self.lstm.forward(x)
+        hs = self.backbone.forward(x)
         self._last_hs_shape = hs.shape
         return self.head.forward(hs[:, -1, :])
 
@@ -393,19 +421,19 @@ class SequenceRegressor:
         dlast = self.head.backward(dy)
         dhs = np.zeros((B, T, H))
         dhs[:, -1, :] = dlast
-        self.lstm.backward(dhs)
+        self.backbone.backward(dhs)
 
     def _zero_grad(self) -> None:
-        self.lstm.zero_grad()
+        self.backbone.zero_grad()
         self.head.zero_grad()
 
     def params(self) -> dict[str, np.ndarray]:
         """All trainable parameters, namespaced per sub-module."""
-        return _merge_params(self.lstm.params(), self.head.params())
+        return _merge_params(self.backbone.params(), self.head.params())
 
     def grads(self) -> dict[str, np.ndarray]:
         """All gradients, namespaced like :meth:`params`."""
-        return _merge_params(self.lstm.grads(), self.head.grads())
+        return _merge_params(self.backbone.grads(), self.head.grads())
 
     # ------------------------------------------------------------------
     def fit(
@@ -481,8 +509,8 @@ class SequenceRegressor:
         """Batch-major inference predictions, shape ``(B, D_out)``.
 
         The serving-path twin of :meth:`predict`: same validation and
-        semantics, but routed through the cache-free
-        :meth:`StackedLSTM.forward_infer` kernel and the row-stable
+        semantics, but routed through the backbone's cache-free
+        ``forward_infer`` kernel and the row-stable
         :meth:`Dense.forward_stable` head, so each window's prediction
         is bitwise independent of how many other windows share the
         batch (for B >= 2).  All batched phase-3 scoring goes through
@@ -496,7 +524,7 @@ class SequenceRegressor:
             raise ShapeError(
                 f"input must be (B, T, {self.input_dim}), got {x.shape}"
             )
-        hs = self.lstm.forward_infer(x)
+        hs = self.backbone.forward_infer(x)
         return self.head.forward_stable(hs[:, -1, :])
 
     def mse_per_sample(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -523,6 +551,8 @@ class SequenceRegressor:
             "num_layers": self.num_layers,
             "seed": self.seed,
             "fitted": self._fitted,
+            "backbone": self.backbone_name,
+            "backbone_params": self.backbone_params,
         }
         arrays = {k.replace(".", "__"): v for k, v in self.params().items()}
         np.savez(path, __meta__=json.dumps(meta), **arrays)
@@ -543,6 +573,9 @@ class SequenceRegressor:
             hidden_size=meta["hidden_size"],
             num_layers=meta["num_layers"],
             seed=meta["seed"],
+            # Pre-model-zoo files carry no backbone field: implicitly LSTM.
+            backbone=meta.get("backbone", "lstm"),
+            backbone_params=meta.get("backbone_params", {}),
         )
         params = model.params()
         for key, arr in params.items():

@@ -8,8 +8,12 @@ classifier, so it could neither classify warnings nor learn online via
 :func:`load_model` restores a :class:`~repro.core.desh.DeshModel` whose
 ``warn()`` output is identical to the model that was saved.
 
-Directory layout (format 2; a superset of the legacy layout, so legacy
-readers like ``cli.load_predictor`` keep working on new directories)::
+Directory layout (format 3; a superset of the legacy layout, so legacy
+readers like ``cli.load_predictor`` keep working on new directories).
+Format 3 adds the model-zoo identity (``meta.json``'s ``model`` field +
+per-network backbone metadata inside the npz payloads); format-2
+directories — written before the zoo existed — load fine and are
+treated as ``lstm``::
 
     meta.json                scaler params, counters, format marker
     config.json              the full DeshConfig
@@ -38,17 +42,22 @@ from ..core.phase1 import Phase1Result
 from ..core.phase3 import Phase3Predictor
 from ..errors import SerializationError
 from ..nn.model import SequenceClassifier, SequenceRegressor
+from ..nn.registry import get_model
 from ..parsing.encoder import PhraseVocabulary
 from ..parsing.pipeline import LogParser
 from . import serialize
 
 __all__ = ["save_model", "load_model", "MODEL_FORMAT"]
 
-MODEL_FORMAT = 2
+MODEL_FORMAT = 3
+
+#: Oldest directory format :func:`load_model` still accepts.  Format 2
+#: predates the model zoo; its networks are implicitly ``lstm``.
+_MIN_LOAD_FORMAT = 2
 
 
 def save_model(model, directory: str | Path) -> None:
-    """Persist a trained :class:`DeshModel` completely (format 2)."""
+    """Persist a trained :class:`DeshModel` completely (format 3)."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     model.phase2.regressor.save(directory / "phase2.npz")
@@ -62,6 +71,8 @@ def save_model(model, directory: str | Path) -> None:
             "id_scale": model.phase2.scaler.id_scale,
             "num_chains": model.num_chains,
             "config_seed": model.config.seed,
+            "model": model.config.model,
+            "model_params": dict(model.config.model_params),
         },
     )
     serialize.write_json(directory / "config.json", model.config.to_dict())
@@ -106,11 +117,15 @@ def load_model(directory: str | Path):
         meta = json.loads(meta_path.read_text())
     except (OSError, ValueError) as exc:
         raise SerializationError(f"unreadable model metadata {meta_path}") from exc
-    if meta.get("format", 1) < MODEL_FORMAT:
+    if meta.get("format", 1) < _MIN_LOAD_FORMAT:
         raise SerializationError(
             f"{directory} holds a legacy (lossy) model directory; "
             "re-save it with save_model, or load it via cli.load_predictor"
         )
+    # Validate the manifest's model family before touching any weights:
+    # a garbled name must surface as ConfigError naming the registry,
+    # not as a KeyError from deep inside deserialization.
+    get_model(str(meta.get("model", "lstm")))
     config = DeshConfig.from_dict(
         serialize.read_json(directory / "config.json")
     )

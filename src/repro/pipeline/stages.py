@@ -94,6 +94,8 @@ def _trainer(ctx: StageContext, parser: LogParser) -> Phase1Trainer:
         config=cfg.phase1,
         embedding_config=cfg.embedding,
         seed=cfg.seed,
+        model=cfg.model,
+        model_params=cfg.model_params,
     )
 
 
@@ -176,9 +178,11 @@ class Phase1Stage(Stage):
         self.enabled = enabled
 
     def config_payload(self) -> object:
-        """Phase-1 hyperparameters, seed and the enabled flag."""
+        """Phase-1 hyperparameters, model identity, seed, enabled flag."""
         return {
             "phase1": dataclasses.asdict(self.config.phase1),
+            "model": self.config.model,
+            "model_params": dict(self.config.model_params),
             "seed": self.config.seed,
             "enabled": self.enabled,
         }
@@ -270,9 +274,11 @@ class Phase2Stage(Stage):
         self.config = config
 
     def config_payload(self) -> object:
-        """Phase-2 hyperparameters + the config seed."""
+        """Phase-2 hyperparameters, model identity + the config seed."""
         return {
             "phase2": dataclasses.asdict(self.config.phase2),
+            "model": self.config.model,
+            "model_params": dict(self.config.model_params),
             "seed": self.config.seed,
         }
 
@@ -283,6 +289,8 @@ class Phase2Stage(Stage):
             vocab_size=max(2, art.parser.num_phrases),
             config=self.config.phase2,
             seed=self.config.seed,
+            model=self.config.model,
+            model_params=self.config.model_params,
         ).train(ctx.value("chains"), checkpoint=ctx.checkpoint_for(self.name))
 
     def save(self, value: Phase2Result, directory: Path) -> None:
@@ -301,9 +309,23 @@ class ClassifierStage(Stage):
     deps = ("parse", "chains")
     terminal = True  # class profiles feed prediction, not another stage
 
+    def __init__(self, config: DeshConfig) -> None:
+        self.config = config
+
     def config_payload(self) -> object:
-        """Keyword-rule identity: bump when Table-7 rules change."""
-        return {"rules": "table7-keywords-v1"}
+        """Keyword-rule identity + the active model family.
+
+        The class profiles themselves are model-free, but they ship
+        inside one model directory: keying them on the model identity
+        keeps every per-model artifact set self-consistent (switching
+        ``--model`` invalidates exactly phase1/phase2/classifier/phase3,
+        never a stale mix from two families).
+        """
+        return {
+            "rules": "table7-keywords-v1",
+            "model": self.config.model,
+            "model_params": dict(self.config.model_params),
+        }
 
     def run(self, ctx: StageContext) -> Optional[FailureClassifier]:
         """Fit the keyword-bootstrapped class profiles (or ``None``)."""
@@ -383,6 +405,6 @@ def build_desh_stages(
         Phase1Stage(config, enabled=train_classifier),
         ChainStage(config),
         Phase2Stage(config),
-        ClassifierStage(),
+        ClassifierStage(config),
         Phase3Stage(config),
     ]

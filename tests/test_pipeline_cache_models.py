@@ -1,0 +1,109 @@
+"""Cache behavior across model-zoo families.
+
+Switching ``DeshConfig.model`` must invalidate exactly the stages that
+hold network weights or per-model artifacts — ``phase1``, ``phase2``,
+``classifier`` and ``phase3`` — while the model-independent prefix
+(``parse``, ``embeddings``, ``chains``) stays cached; and switching
+back must restore full warm hits (per-family artifacts coexist in one
+store, they do not evict each other).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DeshConfig,
+    EmbeddingConfig,
+    Phase1Config,
+    Phase2Config,
+)
+from repro.pipeline import DeshPipeline, assemble_model
+
+ALL_STAGES = {
+    "parse",
+    "embeddings",
+    "phase1",
+    "chains",
+    "phase2",
+    "classifier",
+    "phase3",
+}
+
+#: The exact stale set a model switch must produce.
+MODEL_STAGES = {"phase1", "phase2", "classifier", "phase3"}
+
+
+def _config(model: str) -> DeshConfig:
+    return DeshConfig(
+        embedding=EmbeddingConfig(dim=12, epochs=1),
+        phase1=Phase1Config(hidden_size=16, epochs=1, batch_size=128),
+        phase2=Phase2Config(hidden_size=16, epochs=20, learning_rate=0.01),
+        seed=7,
+        model=model,
+    )
+
+
+@pytest.fixture(scope="module")
+def train_records(small_log):
+    train, _ = small_log.split(0.3)
+    return list(train.records)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("model-zoo-cache")
+
+
+@pytest.fixture(scope="module")
+def cold_lstm_run(train_records, cache_dir):
+    """One cold lstm run that fills the artifact store."""
+    return DeshPipeline(_config("lstm"), cache_dir=cache_dir).run(train_records)
+
+
+def test_model_switch_plans_exact_stale_set(
+    train_records, cache_dir, cold_lstm_run
+):
+    pipe = DeshPipeline(_config("tcn"), cache_dir=cache_dir)
+    plan = pipe.runner.plan(pipe.data_fingerprint(train_records))
+    assert {p.name for p in plan if not p.cached} == MODEL_STAGES
+    assert {p.name for p in plan if p.cached} == ALL_STAGES - MODEL_STAGES
+
+
+def test_model_switch_reruns_only_model_stages(
+    train_records, cache_dir, cold_lstm_run
+):
+    config = _config("tcn")
+    result = DeshPipeline(config, cache_dir=cache_dir).run(train_records)
+    assert set(result.cache_misses) == MODEL_STAGES
+    assert set(result.cache_hits) == ALL_STAGES - MODEL_STAGES
+    model = assemble_model(config, result)
+    assert model.phase2.regressor.backbone_name == "tcn"
+    assert model.phase1.classifier.backbone_name == "tcn"
+
+
+def test_repeat_run_of_new_model_is_fully_cached(
+    train_records, cache_dir, cold_lstm_run
+):
+    # test_model_switch_reruns_only_model_stages populated the tcn cells.
+    result = DeshPipeline(_config("tcn"), cache_dir=cache_dir).run(train_records)
+    assert result.cache_misses == []
+    assert set(result.cache_hits) == ALL_STAGES
+
+
+def test_switching_back_restores_warm_hits(
+    train_records, cache_dir, cold_lstm_run
+):
+    """The tcn runs must not have evicted the lstm artifacts."""
+    pipe = DeshPipeline(_config("lstm"), cache_dir=cache_dir)
+    plan = pipe.runner.plan(pipe.data_fingerprint(train_records))
+    assert all(p.cached for p in plan)
+
+
+def test_model_params_override_invalidates_model_stages(
+    train_records, cache_dir, cold_lstm_run
+):
+    config = _config("tcn").replace(model_params={"kernel_size": 2})
+    pipe = DeshPipeline(config, cache_dir=cache_dir)
+    plan = pipe.runner.plan(pipe.data_fingerprint(train_records))
+    assert {p.name for p in plan if not p.cached} == MODEL_STAGES

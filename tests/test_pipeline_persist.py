@@ -111,6 +111,23 @@ class TestFullModelRoundTrip:
         with pytest.raises(SerializationError, match="metadata"):
             load_model(tmp_path)
 
+    def test_garbled_model_name_rejected_naming_registry(
+        self, trained_model, tmp_path
+    ):
+        """A corrupt manifest model name is a ConfigError, not a KeyError."""
+        from repro.errors import ConfigError
+        from repro.nn import registered_models
+
+        directory = tmp_path / "garbled"
+        save_model(trained_model, directory)
+        meta = json.loads((directory / "meta.json").read_text())
+        meta["model"] = "lstm-v9-typo"
+        (directory / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ConfigError) as exc:
+            load_model(directory)
+        for name in registered_models():
+            assert name in str(exc.value)
+
 
 class TestCachedEvaluation:
     def test_evaluate_model_caches_encoded_test_stream(
